@@ -1,0 +1,21 @@
+"""Helpers shared by the benchmark modules (results persistence)."""
+
+from __future__ import annotations
+
+import os
+
+#: Directory where each figure benchmark writes its regenerated table/series.
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+def write_results(name: str, text: str) -> str:
+    """Persist a regenerated figure table under ``results/`` and return its path.
+
+    The benchmark harness also prints the same text, but pytest captures
+    stdout, so the file is the durable record referenced by EXPERIMENTS.md.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    return path

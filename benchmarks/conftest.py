@@ -1,0 +1,37 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark module regenerates one table/figure of the paper's evaluation
+(§5) at a laptop-friendly scale and prints the corresponding rows/series so
+the shape can be compared against the paper (see EXPERIMENTS.md).  Set the
+environment variable ``REPRO_BENCH_SCALE=paper`` to run the full paper-scale
+workloads instead (slow).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.harness import ExperimentScale
+
+
+def bench_scale() -> ExperimentScale:
+    """The experiment scale used by the benchmark suite."""
+    if os.environ.get("REPRO_BENCH_SCALE", "").lower() == "paper":
+        return ExperimentScale.paper()
+    return ExperimentScale(
+        num_tuples=1_000,
+        num_packages=500,
+        num_samples=200,
+        num_preferences=200,
+        num_features=4,
+        num_gaussians=1,
+        max_package_size=5,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return bench_scale()

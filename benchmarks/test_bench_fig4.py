@@ -1,0 +1,85 @@
+"""Benchmark for Figure 4: acceptance behaviour of RS / IS / MS samplers.
+
+Regenerates the series behind the paper's scatter plots: for each sampler, the
+number of raw draws needed to collect the target number of valid samples given
+two random preferences in two dimensions.  The asserted *shape* is the paper's
+qualitative claim: rejection sampling wastes the most draws, the feedback-aware
+samplers waste far fewer.
+"""
+
+import pytest
+
+from repro.experiments.fig4_sampling_example import run_sampling_example, summarise
+from repro.experiments.harness import format_table
+from repro.sampling.base import ConstraintSet
+from repro.sampling.gaussian_mixture import GaussianMixture
+from repro.sampling.importance import ImportanceSampler
+from repro.sampling.mcmc import MetropolisHastingsSampler
+from repro.sampling.rejection import RejectionSampler
+
+import numpy as np
+
+
+@pytest.fixture(scope="module")
+def fig4_results(scale):
+    from bench_utils import write_results
+
+    results = run_sampling_example(
+        num_valid_samples=100,
+        num_packages=scale.num_packages,
+        num_preferences=2,
+        num_features=2,
+        scale=scale,
+        seed=0,
+    )
+    table = format_table(
+        ["sampler", "valid", "attempts", "acceptance", "ENS"], summarise(results)
+    )
+    header = "Figure 4 — sampler comparison (2 features, 2 preferences, 100 valid samples)"
+    print("\n" + header)
+    print(table)
+    write_results("fig4_sampler_comparison.txt", header + "\n" + table)
+    # Shape assertions (also enforced here so --benchmark-only runs check them).
+    assert results["RS"].attempts >= results["IS"].attempts * 0.9
+    assert all(results[name].valid_samples == 100 for name in ("RS", "IS", "MS"))
+    return results
+
+
+def test_fig4_shape_rejection_wastes_most(fig4_results):
+    """RS needs at least as many raw draws as the feedback-aware samplers."""
+    rs, is_, ms = fig4_results["RS"], fig4_results["IS"], fig4_results["MS"]
+    assert rs.attempts >= is_.attempts * 0.9
+    assert rs.acceptance_rate <= 1.0
+    assert is_.acceptance_rate >= rs.acceptance_rate * 0.9
+    assert ms.valid_samples == 100 and is_.valid_samples == 100 and rs.valid_samples == 100
+
+
+@pytest.fixture(scope="module")
+def tight_constraints():
+    """A deliberately small valid region where the samplers separate clearly."""
+    return ConstraintSet(np.array([
+        [1.0, 0.0], [0.0, 1.0], [1.0, -0.3], [-0.3, 1.0],
+    ]))
+
+
+def bench_sampler(benchmark, sampler_cls, constraints, **kwargs):
+    prior = GaussianMixture.default_prior(2, rng=0)
+    sampler = sampler_cls(prior, rng=1, **kwargs)
+
+    def run():
+        return sampler.sample(100, constraints)
+
+    pool = benchmark(run)
+    assert pool.size == 100
+
+
+def test_bench_fig4_rejection_sampling(benchmark, tight_constraints, fig4_results):
+    bench_sampler(benchmark, RejectionSampler, tight_constraints)
+
+
+def test_bench_fig4_importance_sampling(benchmark, tight_constraints):
+    bench_sampler(benchmark, ImportanceSampler, tight_constraints)
+
+
+def test_bench_fig4_mcmc_sampling(benchmark, tight_constraints):
+    bench_sampler(benchmark, MetropolisHastingsSampler, tight_constraints)

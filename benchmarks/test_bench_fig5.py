@@ -1,0 +1,85 @@
+"""Benchmark for Figure 5: constraint-checking cost before vs after pruning.
+
+Regenerates the three sweeps of Figure 5 (number of features, number of
+samples, number of Gaussians) and asserts the paper's headline: the pruned
+checker is consistently faster (the paper reports at least ~10% improvement;
+the early-termination checker here typically does much better because invalid
+samples are rejected after touching only a few constraints).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig5_constraint_checking import (
+    run_constraint_checking_experiment,
+    summarise,
+)
+from repro.experiments.harness import format_table, build_evaluator, random_package_vectors, random_preference_directions
+from repro.sampling.constraints import ConstraintChecker
+from repro.sampling.gaussian_mixture import GaussianMixture
+from repro.utils.rng import ensure_rng
+
+
+@pytest.fixture(scope="module")
+def fig5_results(scale):
+    from bench_utils import write_results
+
+    results = run_constraint_checking_experiment(
+        feature_values=(3, 5, 7),
+        sample_values=(100, 200, 300),
+        gaussian_values=(1, 3, 5),
+        scale=scale,
+        seed=0,
+    )
+    table = format_table(
+        ["sweep", "value", "naive_s", "pruned_s", "speedup", "eval_reduction"],
+        summarise(results),
+    )
+    header = "Figure 5 — constraint checking before/after pruning"
+    print("\n" + header)
+    print(table)
+    write_results("fig5_constraint_checking.txt", header + "\n" + table)
+    for points in results.values():
+        for point in points:
+            assert point.evaluation_reduction >= 0.10
+    return results
+
+
+def test_fig5_shape_pruning_always_reduces_work(fig5_results):
+    for points in fig5_results.values():
+        for point in points:
+            assert point.pruned_evaluations <= point.naive_evaluations
+            # The paper's ">= 10% improvement" claim, measured on work done.
+            assert point.evaluation_reduction >= 0.10
+
+
+def test_fig5_shape_cost_grows_with_samples(fig5_results):
+    sample_points = fig5_results["samples"]
+    evaluations = [p.naive_evaluations for p in sample_points]
+    assert evaluations == sorted(evaluations)
+
+
+@pytest.fixture(scope="module")
+def checking_workload(scale):
+    rng = ensure_rng(0)
+    evaluator = build_evaluator("UNI", scale, num_features=scale.num_features)
+    _, vectors = random_package_vectors(evaluator, scale.num_packages, rng=rng)
+    hidden = rng.uniform(-1, 1, scale.num_features)
+    directions = random_preference_directions(
+        vectors, scale.num_preferences, rng=rng, consistent_with=hidden
+    )
+    prior = GaussianMixture.default_prior(scale.num_features, rng=rng)
+    samples = prior.sample(scale.num_samples, rng=rng)
+    return directions, samples
+
+
+def test_bench_fig5_naive_checking(benchmark, checking_workload, fig5_results):
+    directions, samples = checking_workload
+    checker = ConstraintChecker(directions)
+    benchmark(lambda: checker.check_naive(samples))
+
+
+def test_bench_fig5_pruned_checking(benchmark, checking_workload):
+    directions, samples = checking_workload
+    checker = ConstraintChecker(directions)
+    benchmark(lambda: checker.check_pruned(samples))

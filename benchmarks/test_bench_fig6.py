@@ -1,0 +1,161 @@
+"""Benchmarks for Figure 6: overall time to produce top-k package recommendations.
+
+Figure 6(a-e) varies the number of valid samples, Figure 6(f-j) the number of
+features, on the five benchmark datasets (UNI, PWR, COR, ANT, NBA).  The
+benchmark prints one row per (dataset, sampler, swept value) — the series the
+paper plots — and asserts the headline shapes:
+
+* sample generation dominates (or matches) the top-k search cost;
+* rejection sampling is the most expensive sampler once feedback accumulates;
+* importance sampling drops out beyond 5 features (grid blow-up), MCMC does not.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig6_overall_time import run_overall_time_experiment, summarise
+from repro.experiments.harness import (
+    build_evaluator,
+    format_table,
+    random_package_vectors,
+    random_preference_directions,
+)
+from repro.core.ranking import rank_from_samples
+from repro.sampling.base import ConstraintSet
+from repro.sampling.gaussian_mixture import GaussianMixture
+from repro.sampling.mcmc import MetropolisHastingsSampler
+from repro.sampling.rejection import RejectionSampler
+from repro.topk.package_search import TopKPackageSearcher
+from repro.utils.rng import ensure_rng
+
+
+@pytest.fixture(scope="module")
+def fig6_points(scale):
+    from bench_utils import write_results
+
+    points = run_overall_time_experiment(
+        datasets=("UNI", "PWR", "COR", "ANT", "NBA"),
+        samplers=("RS", "IS", "MS"),
+        sample_counts=(50, 100, 150),
+        feature_counts=(2, 4, 6, 8, 10),
+        k=5,
+        num_preferences=15,
+        topk_sample_budget=3,
+        search_beam_width=200,
+        search_items_cap=60,
+        scale=scale,
+        seed=0,
+    )
+    table = format_table(
+        ["dataset", "sampler", "sweep", "value", "sample_gen_s", "topk_s", "skipped"],
+        summarise(points),
+    )
+    header = "Figure 6 — overall processing time per dataset/sampler"
+    print("\n" + header)
+    print(table)
+    write_results("fig6_overall_time.txt", header + "\n" + table)
+    # Core shape assertions (enforced in --benchmark-only runs too).
+    high_dim_is = [
+        p for p in points
+        if p.sampler == "IS" and p.varied == "features" and p.value > 5
+    ]
+    assert high_dim_is and all(p.skipped for p in high_dim_is)
+    assert all(not p.skipped for p in points if p.sampler == "MS")
+    return points
+
+
+def test_fig6_shape_importance_sampling_excluded_beyond_cutoff(fig6_points):
+    high_dim_is = [
+        p for p in fig6_points
+        if p.sampler == "IS" and p.varied == "features" and p.value > 5
+    ]
+    assert high_dim_is and all(p.skipped for p in high_dim_is)
+    low_dim_is = [
+        p for p in fig6_points
+        if p.sampler == "IS" and p.varied == "features" and p.value <= 4
+    ]
+    assert low_dim_is and all(not p.skipped for p in low_dim_is)
+
+
+def test_fig6_shape_mcmc_handles_all_dimensionalities(fig6_points):
+    ms_points = [p for p in fig6_points if p.sampler == "MS"]
+    assert ms_points and all(not p.skipped for p in ms_points)
+
+
+def test_fig6_shape_sampling_cost_is_significant(fig6_points):
+    """Sample generation should not be negligible next to top-k search."""
+    totals = {}
+    for p in fig6_points:
+        if p.skipped:
+            continue
+        totals.setdefault(p.sampler, [0.0, 0.0])
+        totals[p.sampler][0] += p.sample_generation_seconds
+        totals[p.sampler][1] += p.topk_seconds
+    for sampler, (gen, topk) in totals.items():
+        assert gen > 0
+        # Generation is at least a comparable fraction of the per-sample search.
+        assert gen >= 0.05 * topk
+
+
+def test_fig6_shape_sample_cost_grows_with_sample_count(fig6_points):
+    for sampler in ("RS", "MS"):
+        series = sorted(
+            (p.value, p.sample_generation_seconds)
+            for p in fig6_points
+            if p.sampler == sampler and p.varied == "samples" and p.dataset == "UNI"
+        )
+        assert series[0][1] <= series[-1][1] * 1.5  # cost does not shrink with more samples
+
+
+@pytest.fixture(scope="module")
+def pipeline_workload(scale):
+    rng = ensure_rng(0)
+    evaluator = build_evaluator("UNI", scale, num_features=4)
+    _, vectors = random_package_vectors(evaluator, scale.num_packages, rng=rng)
+    hidden = rng.uniform(-1, 1, 4)
+    directions = random_preference_directions(vectors, 15, rng=rng, consistent_with=hidden)
+    constraints = ConstraintSet(directions)
+    prior = GaussianMixture.default_prior(4, rng=rng)
+    return evaluator, constraints, prior
+
+
+def _bounded_searcher(evaluator):
+    """The bounded-work searcher configuration used across the Figure 6 benches."""
+    return TopKPackageSearcher(evaluator, beam_width=500, max_items_accessed=150)
+
+
+def test_bench_fig6_pipeline_rejection(benchmark, pipeline_workload, fig6_points):
+    evaluator, constraints, prior = pipeline_workload
+    sampler = RejectionSampler(prior, rng=1)
+    searcher = _bounded_searcher(evaluator)
+
+    def pipeline():
+        pool = sampler.sample(50, constraints)
+        results = [searcher.search(pool.samples[i], 5) for i in range(5)]
+        return rank_from_samples(results, 5, "exp", sample_weights=pool.weights[:5])
+
+    result = benchmark.pedantic(pipeline, rounds=2, iterations=1)
+    assert len(result) == 5
+
+
+def test_bench_fig6_pipeline_mcmc(benchmark, pipeline_workload):
+    evaluator, constraints, prior = pipeline_workload
+    sampler = MetropolisHastingsSampler(prior, rng=1)
+    searcher = _bounded_searcher(evaluator)
+
+    def pipeline():
+        pool = sampler.sample(50, constraints)
+        results = [searcher.search(pool.samples[i], 5) for i in range(5)]
+        return rank_from_samples(results, 5, "exp", sample_weights=pool.weights[:5])
+
+    result = benchmark.pedantic(pipeline, rounds=2, iterations=1)
+    assert len(result) == 5
+
+
+def test_bench_fig6_topk_package_search(benchmark, pipeline_workload):
+    """The Top-k-Pkg half of Figure 6 in isolation."""
+    evaluator, _, _ = pipeline_workload
+    weights = np.array([0.7, 0.5, -0.4, 0.3])
+    searcher = _bounded_searcher(evaluator)
+    result = benchmark.pedantic(lambda: searcher.search(weights, 5), rounds=3, iterations=1)
+    assert len(result.packages) == 5

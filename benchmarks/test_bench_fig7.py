@@ -1,0 +1,134 @@
+"""Benchmarks for Figure 7: sample-maintenance strategies and the γ sweep.
+
+Figure 7(a): cost of locating violating samples per new-feedback bucket for the
+naive scan, the TA-based search and the hybrid (Algorithm 1).  Figure 7(b):
+hybrid/naive cost ratio as a function of γ.  The asserted shapes follow the
+paper: TA wins when few samples are invalidated, the naive scan wins when many
+are, and the hybrid never strays far from the better of the two.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig7_maintenance import (
+    run_gamma_sweep,
+    run_maintenance_experiment,
+    summarise,
+)
+from repro.experiments.harness import format_table
+from repro.sampling.maintenance import (
+    HybridMaintenance,
+    NaiveMaintenance,
+    ThresholdMaintenance,
+)
+
+
+@pytest.fixture(scope="module")
+def fig7_buckets(scale):
+    from bench_utils import write_results
+
+    buckets = run_maintenance_experiment(
+        num_samples=2_000,
+        num_preferences=300,
+        num_features=scale.num_features,
+        scale=scale,
+        seed=0,
+    )
+    table = format_table(
+        ["bucket<=", "count", "naive_s", "ta_s", "hybrid_s"], summarise(buckets)
+    )
+    header = "Figure 7(a) — maintenance cost by number of violating samples"
+    print("\n" + header)
+    print(table)
+    write_results("fig7a_maintenance_buckets.txt", header + "\n" + table)
+    low = [b for b in buckets if b.bucket <= 5 and b.count > 0]
+    assert low and all(b.ta_accesses < b.naive_accesses for b in low)
+    return buckets
+
+
+@pytest.fixture(scope="module")
+def fig7_gammas(scale):
+    from bench_utils import write_results
+
+    points = run_gamma_sweep(
+        gammas=(0.0, 0.025, 0.05, 0.075, 0.1),
+        num_samples=2_000,
+        num_preferences=150,
+        num_features=scale.num_features,
+        scale=scale,
+        seed=0,
+    )
+    table = format_table(
+        ["gamma", "ta/naive", "hybrid/naive"],
+        [[p.gamma, p.ta_cost_ratio, p.hybrid_cost_ratio] for p in points],
+    )
+    header = "Figure 7(b) — cost ratio vs naive checking as gamma varies"
+    print("\n" + header)
+    print(table)
+    write_results("fig7b_gamma_sweep.txt", header + "\n" + table)
+    return points
+
+
+def test_fig7_shape_ta_wins_with_few_violations(fig7_buckets):
+    """TA touches far fewer samples than the naive scan when violations are rare."""
+    low = [b for b in fig7_buckets if b.bucket <= 5 and b.count > 0]
+    assert low, "expected some preferences with few violating samples"
+    for bucket in low:
+        assert bucket.ta_accesses < bucket.naive_accesses
+
+
+def test_fig7_shape_ta_overhead_grows_with_violations(fig7_buckets):
+    """The TA advantage shrinks (or reverses) as more samples violate the feedback."""
+    populated = [b for b in fig7_buckets if b.count > 0]
+    assert len(populated) >= 2
+    low, high = populated[0], populated[-1]
+    low_ratio = low.ta_accesses / max(low.naive_accesses, 1)
+    high_ratio = high.ta_accesses / max(high.naive_accesses, 1)
+    assert high_ratio >= low_ratio
+
+
+def test_fig7_shape_hybrid_tracks_the_better_strategy(fig7_buckets):
+    for bucket in fig7_buckets:
+        if bucket.count == 0:
+            continue
+        best = min(bucket.naive_accesses, bucket.ta_accesses)
+        assert bucket.hybrid_accesses <= bucket.naive_accesses * 1.6 + 1
+        assert bucket.hybrid_accesses >= best * 0.5
+
+
+def test_fig7b_shape_gamma_zero_close_to_naive(fig7_gammas):
+    """With tiny γ the hybrid falls back almost immediately, behaving like naive."""
+    first = fig7_gammas[0]
+    assert first.gamma == 0.0
+    assert first.hybrid_cost_ratio <= first.ta_cost_ratio * 1.2 or first.hybrid_cost_ratio <= 2.0
+
+
+@pytest.fixture(scope="module")
+def maintenance_pool():
+    rng = np.random.default_rng(0)
+    samples = rng.uniform(-1, 1, size=(5_000, 4))
+    # A direction violated by very few samples (TA's sweet spot) ...
+    rare = np.array([1.0, 1.0, 1.0, 1.0]) * 0.9
+    # ... and one violated by roughly half the pool (naive's sweet spot).
+    common = np.array([1.0, 0.0, 0.0, 0.0])
+    return samples, rare, common
+
+
+def test_bench_fig7_naive_maintenance(benchmark, maintenance_pool, fig7_buckets, fig7_gammas):
+    samples, rare, _ = maintenance_pool
+    strategy = NaiveMaintenance()
+    benchmark(lambda: strategy.find_violations(samples, rare))
+
+
+def test_bench_fig7_ta_maintenance_few_violations(benchmark, maintenance_pool):
+    samples, rare, _ = maintenance_pool
+    strategy = ThresholdMaintenance()
+    strategy.prepare(samples)
+    benchmark(lambda: strategy.find_violations(samples, rare))
+
+
+def test_bench_fig7_hybrid_maintenance_many_violations(benchmark, maintenance_pool):
+    samples, _, common = maintenance_pool
+    strategy = HybridMaintenance(gamma=0.025)
+    strategy.prepare(samples)
+    benchmark(lambda: strategy.find_violations(samples, common))

@@ -1,0 +1,82 @@
+"""Benchmark for Figure 8: elicitation effectiveness on the NBA dataset.
+
+Regenerates the clicks-until-convergence curve as the number of features grows
+(simulated users with hidden ground-truth utilities, 5 recommended + 5 random
+packages per round, MCMC sampling, EXP semantics).  Asserted shape: only a
+handful of clicks are needed at every dimensionality, as the paper reports.
+"""
+
+import pytest
+
+from repro.experiments.fig8_elicitation import run_elicitation_effectiveness, summarise
+from repro.experiments.harness import format_table
+from repro.core.elicitation import ElicitationConfig, PackageRecommender
+from repro.core.items import ItemCatalog
+from repro.core.profiles import AggregateProfile
+from repro.data.nba import generate_nba_dataset
+from repro.simulation.session import ElicitationSession
+from repro.simulation.user import SimulatedUser
+
+
+@pytest.fixture(scope="module")
+def fig8_points():
+    from bench_utils import write_results
+
+    points = run_elicitation_effectiveness(
+        feature_counts=(2, 4, 6, 8, 10),
+        num_users=3,
+        num_players=250,
+        k=5,
+        num_random=5,
+        num_samples=80,
+        max_package_size=4,
+        max_rounds=10,
+        search_sample_budget=10,
+        search_items_cap=60,
+        seed=0,
+    )
+    table = format_table(
+        ["features", "mean_clicks", "median", "max", "converged", "regret"],
+        summarise(points),
+    )
+    header = "Figure 8 — clicks until the top-k list stabilises (NBA dataset)"
+    print("\n" + header)
+    print(table)
+    write_results("fig8_elicitation_effectiveness.txt", header + "\n" + table)
+    assert all(p.mean_clicks <= 10.0 for p in points)
+    return points
+
+
+def test_fig8_shape_few_clicks_needed(fig8_points):
+    """The paper's claim: only a few feedback clicks are needed per query."""
+    for point in fig8_points:
+        assert point.mean_clicks <= 10.0
+
+
+def test_fig8_shape_majority_of_sessions_converge(fig8_points):
+    converged = [p.convergence_rate for p in fig8_points]
+    assert sum(converged) / len(converged) >= 0.5
+
+
+def test_fig8_shape_low_regret_after_elicitation(fig8_points):
+    for point in fig8_points:
+        assert point.mean_regret <= 0.25
+
+
+def test_bench_fig8_single_elicitation_session(benchmark, fig8_points):
+    data = generate_nba_dataset(200, 4, rng=0)
+    catalog = ItemCatalog(data)
+    profile = AggregateProfile(["sum", "avg", "max", "min"])
+
+    def run_session():
+        config = ElicitationConfig(
+            k=5, num_random=5, max_package_size=4, num_samples=60,
+            sampler="mcmc", search_sample_budget=15, search_beam_width=400,
+            search_items_cap=120, seed=1,
+        )
+        recommender = PackageRecommender(catalog, profile, config)
+        user = SimulatedUser.random(recommender.evaluator, rng=2)
+        return ElicitationSession(recommender, user, max_rounds=8).run()
+
+    result = benchmark.pedantic(run_session, rounds=1, iterations=1)
+    assert result.rounds_run >= 1

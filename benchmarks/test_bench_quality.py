@@ -1,0 +1,84 @@
+"""Benchmark for §5.4 (sample quality) plus a baseline-contrast micro-study.
+
+Regenerates the top-5 lists per (sampler, semantics) and asserts the paper's
+observation that the samplers largely agree and that the semantics are
+correlated.  Also quantifies the skyline baseline's drawback (the skyline
+package set is much larger than a top-k list), which motivates the whole
+approach in the paper's introduction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.skyline import skyline_packages
+from repro.core.items import ItemCatalog
+from repro.core.packages import PackageEvaluator
+from repro.core.profiles import AggregateProfile
+from repro.experiments.sample_quality import run_sample_quality_study, summarise
+from repro.experiments.harness import format_table
+
+
+@pytest.fixture(scope="module")
+def quality_result(scale):
+    from bench_utils import write_results
+
+    result = run_sample_quality_study(
+        k=5,
+        num_samples=400,
+        num_preferences=60,
+        num_features=4,
+        num_gaussians=2,
+        num_packages=400,
+        scale=scale,
+        seed=0,
+    )
+    table = format_table(["sampler", "semantics", "top-5 / agreement"], summarise(result))
+    header = "Section 5.4 — top-5 lists per sampler and semantics"
+    print("\n" + header)
+    print(table)
+    write_results("sec54_sample_quality.txt", header + "\n" + table)
+    assert result.sampler_agreement >= 0.5
+    return result
+
+
+def test_quality_shape_samplers_agree(quality_result):
+    """Given enough samples, RS / IS / MS produce very similar top-5 lists."""
+    assert quality_result.sampler_agreement >= 0.5
+
+
+def test_quality_shape_semantics_correlated(quality_result):
+    """EXP, TKP and MPO overlap substantially (they are correlated, not identical)."""
+    assert quality_result.semantics_agreement >= 0.3
+
+
+def test_quality_all_sampler_semantics_combinations_present(quality_result):
+    samplers = {s for s, _ in quality_result.top_lists}
+    semantics = {m for _, m in quality_result.top_lists}
+    assert samplers == {"RS", "IS", "MS"}
+    assert semantics == {"EXP", "TKP", "MPO"}
+
+
+def test_bench_quality_study(benchmark, scale, quality_result):
+    result = benchmark.pedantic(
+        lambda: run_sample_quality_study(
+            k=5, num_samples=150, num_preferences=30, num_features=4,
+            num_gaussians=2, num_packages=200, scale=scale, seed=1,
+        ),
+        rounds=1, iterations=1,
+    )
+    assert result.top_lists
+
+
+def test_bench_skyline_explosion(benchmark):
+    """The introduction's motivation: skyline package sets are impractically large."""
+    rng = np.random.default_rng(0)
+    catalog = ItemCatalog(rng.random((40, 2)))
+    evaluator = PackageEvaluator(catalog, AggregateProfile(["sum", "avg"]), 2)
+
+    results = benchmark.pedantic(
+        lambda: skyline_packages(evaluator, package_size=2, directions=[-1.0, 1.0]),
+        rounds=1, iterations=1,
+    )
+    print(f"\nSkyline baseline: {len(results)} skyline packages of size 2 "
+          f"from a 40-item catalog (vs a top-5 list)")
+    assert len(results) > 5

@@ -1,0 +1,106 @@
+"""NBA fantasy-roster recommendation — the paper's real-data scenario.
+
+The paper's experiments use career statistics of 3705 NBA players with 10
+features.  This example builds a "fantasy roster" recommender on the synthetic
+NBA dataset substitute: a package is a set of up to 5 players, scored by
+aggregate statistics (total points, average efficiency proxies, ...).  The
+user's taste — e.g. "I value assists and three-point shooting, turnovers are
+bad" — is hidden and elicited through clicks.
+
+It also contrasts the three ranking semantics (EXP / TKP / MPO) on the final
+posterior, reproducing the §5.4 observation that they are correlated but not
+identical.
+
+Run with::
+
+    python examples/nba_roster.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    AggregateProfile,
+    ElicitationConfig,
+    ItemCatalog,
+    PackageRecommender,
+    SimulatedUser,
+)
+from repro.core.ranking import (
+    rank_packages_exp,
+    rank_packages_mpo,
+    rank_packages_tkp,
+)
+from repro.data.nba import generate_nba_dataset
+from repro.simulation.session import ElicitationSession
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+
+    # --- The player table: 600 players, 6 named career-statistics features. --
+    matrix, feature_names = generate_nba_dataset(
+        num_players=600, num_features=6, rng=rng, return_feature_names=True
+    )
+    catalog = ItemCatalog(matrix, feature_names=feature_names)
+    print("Selected features:", feature_names)
+
+    # Rosters are scored by the sum of counting stats and the average of
+    # percentage-like stats.
+    aggregations = [
+        "avg" if name.endswith("_pct") else "sum" for name in feature_names
+    ]
+    profile = AggregateProfile(aggregations, feature_names=feature_names)
+
+    config = ElicitationConfig(
+        k=5,
+        num_random=5,
+        max_package_size=5,
+        num_samples=120,
+        sampler="mcmc",
+        semantics="exp",
+        # Keep interactive latency low: search a 15-sample subset of the pool
+        # per round and bound the per-sample Top-k-Pkg work.
+        search_sample_budget=15,
+        search_beam_width=400,
+        search_items_cap=120,
+        seed=1,
+    )
+    recommender = PackageRecommender(catalog, profile, config)
+
+    # A simulated fantasy manager with a hidden taste over the features.
+    user = SimulatedUser.random(recommender.evaluator, rng=rng)
+    print("Hidden manager preferences:", np.round(user.true_utility.weights, 3))
+    print()
+
+    # --- Closed-loop elicitation session (Figure 8 protocol). ---------------
+    session = ElicitationSession(recommender, user, max_rounds=10)
+    result = session.run(compute_regret=True)
+    print(f"Session converged: {result.converged} "
+          f"after {result.clicks_to_convergence} clicks "
+          f"({result.rounds_run} rounds); final regret {result.final_regret:.4f}")
+    print()
+
+    # --- Compare ranking semantics on the same posterior. --------------------
+    pool = recommender.sample_pool()
+    candidates = recommender.evaluator.random_packages(300, rng=rng)
+    vectors = recommender.evaluator.vectors(candidates)
+
+    exp_top = [i for i, _ in rank_packages_exp(vectors, pool, 5)]
+    tkp_top = [i for i, _ in rank_packages_tkp(vectors, pool, 5)]
+    mpo_top, mpo_probability = rank_packages_mpo(vectors, pool, 5)
+
+    def describe(indices):
+        return [tuple(candidates[i].items) for i in indices]
+
+    print("Top-5 candidate rosters under each ranking semantics:")
+    print("  EXP:", describe(exp_top))
+    print("  TKP:", describe(tkp_top))
+    print(f"  MPO: {describe(mpo_top)} (probability {mpo_probability:.2f})")
+    overlap = len(set(exp_top) & set(tkp_top)) / 5
+    print(f"EXP/TKP overlap: {overlap:.0%} — correlated but not always identical.")
+
+
+if __name__ == "__main__":
+    main()

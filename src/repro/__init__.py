@@ -1,0 +1,88 @@
+"""repro — reproduction of "Generating Top-k Packages via Preference Elicitation".
+
+Xie, Lakshmanan and Wood, PVLDB 7(14), 2014.
+
+The public API re-exports the pieces most users need:
+
+* data model: :class:`ItemCatalog`, :class:`AggregateProfile`, :class:`Package`,
+  :class:`PackageEvaluator`;
+* the preference-elicitation recommender: :class:`PackageRecommender`,
+  :class:`ElicitationConfig`;
+* constrained samplers: :class:`RejectionSampler`, :class:`ImportanceSampler`,
+  :class:`MetropolisHastingsSampler`;
+* top-k package search: :class:`TopKPackageSearcher`;
+* ranking semantics: :class:`RankingSemantics`;
+* dataset generators: :func:`load_benchmark_dataset`, :func:`generate_nba_dataset`.
+
+See README.md for a quickstart and DESIGN.md for the architecture.
+"""
+
+from repro.core.items import ItemCatalog
+from repro.core.profiles import AggregateProfile, Aggregation
+from repro.core.packages import Package, PackageEvaluator
+from repro.core.utility import LinearUtility, sample_random_utility
+from repro.core.preferences import Preference, PreferenceCycleError, PreferenceStore
+from repro.core.ranking import RankingSemantics
+from repro.core.noise import NoiseModel
+from repro.core.predicates import (
+    MaxCountPredicate,
+    MinCountPredicate,
+    PackagePredicate,
+    PredicateSet,
+    SizePredicate,
+)
+from repro.core.elicitation import (
+    ElicitationConfig,
+    PackageRecommender,
+    RecommendationRound,
+)
+from repro.sampling.base import ConstraintSet, SamplePool
+from repro.sampling.gaussian_mixture import GaussianMixture
+from repro.sampling.rejection import RejectionSampler
+from repro.sampling.importance import ImportanceSampler
+from repro.sampling.mcmc import MetropolisHastingsSampler
+from repro.topk.package_search import PackageSearchResult, TopKPackageSearcher
+from repro.topk.bruteforce import brute_force_top_k_packages
+from repro.data.datasets import load_benchmark_dataset
+from repro.data.nba import generate_nba_dataset
+from repro.simulation.user import SimulatedUser
+from repro.simulation.session import ElicitationSession
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ItemCatalog",
+    "AggregateProfile",
+    "Aggregation",
+    "Package",
+    "PackageEvaluator",
+    "LinearUtility",
+    "sample_random_utility",
+    "Preference",
+    "PreferenceStore",
+    "PreferenceCycleError",
+    "RankingSemantics",
+    "NoiseModel",
+    "PackagePredicate",
+    "PredicateSet",
+    "MinCountPredicate",
+    "MaxCountPredicate",
+    "SizePredicate",
+    "ElicitationConfig",
+    "PackageRecommender",
+    "RecommendationRound",
+    "ConstraintSet",
+    "SamplePool",
+    "GaussianMixture",
+    "RejectionSampler",
+    "ImportanceSampler",
+    "MetropolisHastingsSampler",
+    "TopKPackageSearcher",
+    "PackageSearchResult",
+    "brute_force_top_k_packages",
+    "load_benchmark_dataset",
+    "generate_nba_dataset",
+    "SimulatedUser",
+    "ElicitationSession",
+    "__version__",
+]

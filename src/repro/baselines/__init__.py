@@ -1,0 +1,13 @@
+"""Baseline approaches the paper compares against conceptually.
+
+* :mod:`repro.baselines.skyline` — skyline items and fixed-size skyline
+  packages (Zhang & Chomicki; Li et al.), whose main drawback — the number of
+  skyline packages explodes — motivates the paper's utility-based approach.
+* :mod:`repro.baselines.hard_constraint` — hard-budget package composition
+  (Xie et al., RecSys 2010), the other alternative the introduction discusses.
+"""
+
+from repro.baselines.skyline import skyline_items, skyline_packages
+from repro.baselines.hard_constraint import HardConstraintRecommender
+
+__all__ = ["skyline_items", "skyline_packages", "HardConstraintRecommender"]

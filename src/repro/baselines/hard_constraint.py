@@ -1,0 +1,141 @@
+"""Hard-constraint package composition — the baseline of Xie et al. (RecSys 2010).
+
+The second alternative discussed in the paper's introduction fixes a hard
+budget on some features (e.g. "total cost at most $500") and maximises a fixed
+objective over the remaining features.  Its practical limitations (budgets set
+too low give sub-optimal packages, budgets set too high give huge candidate
+sets, and the per-feature importance is unknown) motivate the elicitation
+approach.  This module implements the baseline so examples and benchmarks can
+compare the two behaviours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.packages import Package, PackageEvaluator
+from repro.utils.validation import require_vector
+
+
+@dataclass(frozen=True)
+class BudgetConstraint:
+    """A hard upper bound on one aggregate feature of the package.
+
+    Attributes
+    ----------
+    feature_index:
+        Index of the constrained feature.
+    upper_bound:
+        Maximum allowed *normalised* aggregate value (the same scale the
+        evaluator produces, i.e. within [0, 1]).
+    """
+
+    feature_index: int
+    upper_bound: float
+
+    def __post_init__(self) -> None:
+        if self.feature_index < 0:
+            raise ValueError(
+                f"feature_index must be >= 0, got {self.feature_index}"
+            )
+        if self.upper_bound < 0:
+            raise ValueError(f"upper_bound must be >= 0, got {self.upper_bound}")
+
+    def satisfied_by(self, vector: np.ndarray) -> bool:
+        """Whether a package feature vector satisfies the budget."""
+        return float(vector[self.feature_index]) <= self.upper_bound + 1e-12
+
+
+class HardConstraintRecommender:
+    """Greedy budget-constrained package composition.
+
+    Builds a package by repeatedly adding the item with the best
+    marginal-objective-per-unit-of-budget ratio while every budget constraint
+    stays satisfied — the standard greedy heuristic for this class of
+    constrained optimisation problems.  Exact enumeration
+    (:meth:`best_package_exhaustive`) is provided for small instances so tests
+    can quantify the greedy gap.
+
+    Parameters
+    ----------
+    evaluator:
+        Package evaluator binding catalog, profile and maximum size.
+    objective_weights:
+        Linear objective over the package's normalised feature vector
+        (only features *not* under a budget usually carry weight).
+    budgets:
+        Hard upper bounds on (normalised) aggregate feature values.
+    """
+
+    def __init__(
+        self,
+        evaluator: PackageEvaluator,
+        objective_weights: np.ndarray,
+        budgets: Sequence[BudgetConstraint],
+    ) -> None:
+        self.evaluator = evaluator
+        self.objective_weights = require_vector(
+            objective_weights, "objective_weights", length=evaluator.num_features
+        )
+        self.budgets = list(budgets)
+
+    # ------------------------------------------------------------------ greedy
+    def _satisfies_budgets(self, vector: np.ndarray) -> bool:
+        return all(budget.satisfied_by(vector) for budget in self.budgets)
+
+    def recommend(self) -> Optional[Tuple[Package, float]]:
+        """Greedily build the best budget-feasible package (None if infeasible)."""
+        current_items: List[int] = []
+        current_state = self.evaluator.empty_state()
+        current_utility = 0.0
+        available = set(range(self.evaluator.catalog.num_items))
+        for _ in range(self.evaluator.max_package_size):
+            best_item = None
+            best_state = None
+            best_utility = current_utility
+            for item in available:
+                state = self.evaluator.state_add_item(current_state, item)
+                vector = self.evaluator.state_vector(state)
+                if not self._satisfies_budgets(vector):
+                    continue
+                utility = float(vector @ self.objective_weights)
+                if utility > best_utility:
+                    best_item, best_state, best_utility = item, state, utility
+            if best_item is None:
+                break
+            current_items.append(best_item)
+            current_state = best_state
+            current_utility = best_utility
+            available.discard(best_item)
+        if not current_items:
+            return None
+        return Package.of(current_items), current_utility
+
+    # ------------------------------------------------------------- exhaustive
+    def best_package_exhaustive(
+        self, item_indices: Optional[Sequence[int]] = None
+    ) -> Optional[Tuple[Package, float]]:
+        """Exact best budget-feasible package by enumeration (small instances only)."""
+        best: Optional[Tuple[Package, float]] = None
+        for package in self.evaluator.enumerate_packages(item_indices=item_indices):
+            vector = self.evaluator.vector(package)
+            if not self._satisfies_budgets(vector):
+                continue
+            utility = float(vector @ self.objective_weights)
+            if best is None or utility > best[1] or (
+                utility == best[1] and package.package_id < best[0].package_id
+            ):
+                best = (package, utility)
+        return best
+
+    # -------------------------------------------------------------- diagnosis
+    def feasible_count(self, item_indices: Optional[Sequence[int]] = None) -> int:
+        """Number of budget-feasible packages (illustrates the budget-too-high issue)."""
+        count = 0
+        for package in self.evaluator.enumerate_packages(item_indices=item_indices):
+            if self._satisfies_budgets(self.evaluator.vector(package)):
+                count += 1
+        return count

@@ -1,0 +1,111 @@
+"""Skyline items and skyline packages — the baseline of Zhang & Chomicki / Li et al.
+
+The introduction of the paper contrasts the utility-based approach with
+returning *all skyline packages*: packages not dominated by any other package
+on every feature.  The key empirical point (reproduced by the
+``bench_skyline_explosion`` benchmark) is that the number of skyline packages
+grows into the hundreds or thousands even for modest datasets, which is why
+presenting them all to a user is impractical.
+
+Domination here follows the paper's convention: with a *preference direction*
+per feature (+1 = larger is better, -1 = smaller is better), package ``a``
+dominates package ``b`` when ``a`` is at least as good on every feature and
+strictly better on at least one.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.items import ItemCatalog
+from repro.core.packages import Package, PackageEvaluator
+from repro.utils.validation import require_matrix, require_vector
+
+
+def _dominates(a: np.ndarray, b: np.ndarray) -> bool:
+    """Whether oriented vector ``a`` dominates ``b`` (>= everywhere, > somewhere)."""
+    return bool(np.all(a >= b) and np.any(a > b))
+
+
+def skyline_of_vectors(vectors: np.ndarray, directions: np.ndarray) -> List[int]:
+    """Indices of the skyline (non-dominated) rows of ``vectors``.
+
+    ``directions`` holds +1 / -1 per feature (larger / smaller preferred).
+    Uses the standard block-nested-loop approach with a maintained window,
+    which is adequate for the sizes used in experiments.
+    """
+    vectors = require_matrix(vectors, "vectors")
+    directions = require_vector(directions, "directions", length=vectors.shape[1])
+    if not np.all(np.isin(directions, (-1.0, 1.0))):
+        raise ValueError("directions must contain only +1 or -1 entries")
+    oriented = vectors * directions
+    window: List[int] = []
+    for index in range(oriented.shape[0]):
+        candidate = oriented[index]
+        dominated = False
+        remove: List[int] = []
+        for kept in window:
+            if _dominates(oriented[kept], candidate):
+                dominated = True
+                break
+            if _dominates(candidate, oriented[kept]):
+                remove.append(kept)
+        if dominated:
+            continue
+        window = [kept for kept in window if kept not in remove]
+        window.append(index)
+    return sorted(window)
+
+
+def skyline_items(
+    catalog: ItemCatalog, directions: Optional[Sequence[float]] = None
+) -> List[int]:
+    """Indices of skyline items (non-dominated items) of the catalog."""
+    if directions is None:
+        directions = np.ones(catalog.num_features)
+    return skyline_of_vectors(catalog.filled(0.0), np.asarray(directions, dtype=float))
+
+
+def skyline_packages(
+    evaluator: PackageEvaluator,
+    package_size: int,
+    directions: Optional[Sequence[float]] = None,
+    item_indices: Optional[Sequence[int]] = None,
+    max_packages: int = 2_000_000,
+) -> List[Tuple[Package, np.ndarray]]:
+    """All skyline packages of a *fixed* cardinality (as in [20, 29]).
+
+    Returns ``(package, normalised feature vector)`` pairs for every package of
+    exactly ``package_size`` items that is not dominated by another package of
+    the same size.  Exponential in the item count; ``max_packages`` guards
+    against accidental blow-ups.
+    """
+    if package_size <= 0:
+        raise ValueError(f"package_size must be > 0, got {package_size}")
+    if directions is None:
+        directions = np.ones(evaluator.num_features)
+    directions = np.asarray(directions, dtype=float)
+    pool = (
+        list(item_indices)
+        if item_indices is not None
+        else list(range(evaluator.catalog.num_items))
+    )
+    packages: List[Package] = []
+    vectors: List[np.ndarray] = []
+    for count, combo in enumerate(itertools.combinations(pool, package_size)):
+        if count >= max_packages:
+            raise RuntimeError(
+                f"more than {max_packages} candidate packages; restrict "
+                f"item_indices or package_size"
+            )
+        package = Package(tuple(combo))
+        packages.append(package)
+        vectors.append(evaluator.vector(package))
+    if not packages:
+        return []
+    matrix = np.stack(vectors)
+    indices = skyline_of_vectors(matrix, directions)
+    return [(packages[i], matrix[i]) for i in indices]

@@ -1,0 +1,380 @@
+"""The end-to-end preference-elicitation package recommender.
+
+:class:`PackageRecommender` ties the pieces of the paper's system together:
+
+1. keep a Gaussian-mixture prior over the hidden utility weights and a pool of
+   constrained weight samples representing the current posterior (§2.1, §3);
+2. on every round, present the user the current best packages under a chosen
+   ranking semantics *plus* a few random packages for exploration (§2.2);
+3. interpret the user's click as pairwise preferences "clicked ≻ unclicked",
+   store them in the preference DAG, and maintain the sample pool against the
+   new constraints instead of resampling from scratch (§3.3–3.4);
+4. answer top-k package queries by running ``Top-k-Pkg`` per weight sample and
+   aggregating under EXP / TKP / MPO (§4).
+
+Typical usage::
+
+    recommender = PackageRecommender(catalog, profile, ElicitationConfig(k=5))
+    round_ = recommender.recommend()
+    recommender.feedback(clicked=round_.presented[2])
+    best = recommender.current_top_k()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.items import ItemCatalog
+from repro.core.noise import NoiseModel
+from repro.core.packages import Package, PackageEvaluator
+from repro.core.preferences import PreferenceStore
+from repro.core.profiles import AggregateProfile
+from repro.core.predicates import PredicateSet
+from repro.core.ranking import RankingSemantics, rank_from_samples
+from repro.sampling.base import ConstraintSet, SamplePool, Sampler
+from repro.sampling.gaussian_mixture import GaussianMixture
+from repro.sampling.importance import ImportanceSampler
+from repro.sampling.maintenance import (
+    HybridMaintenance,
+    NaiveMaintenance,
+    SampleMaintainer,
+    ThresholdMaintenance,
+)
+from repro.sampling.mcmc import MetropolisHastingsSampler
+from repro.sampling.rejection import RejectionSampler
+from repro.topk.package_search import PackageSearchResult, TopKPackageSearcher
+from repro.utils.rng import RngLike, ensure_rng
+
+#: Sampler names accepted by :class:`ElicitationConfig`.
+SAMPLER_NAMES = ("rejection", "importance", "mcmc")
+
+#: Maintenance strategy names accepted by :class:`ElicitationConfig`.
+MAINTENANCE_NAMES = ("naive", "ta", "hybrid", "resample")
+
+
+@dataclass
+class ElicitationConfig:
+    """Configuration of the preference-elicitation recommender.
+
+    Attributes
+    ----------
+    k:
+        Number of "best" packages recommended per round (and returned by
+        :meth:`PackageRecommender.current_top_k`).
+    num_random:
+        Number of additional random exploration packages presented per round.
+    max_package_size:
+        The system-defined maximum package size φ.
+    num_samples:
+        Size of the weight-vector sample pool representing the posterior.
+    sampler:
+        ``"rejection"``, ``"importance"`` or ``"mcmc"``.
+    semantics:
+        Ranking semantics used to aggregate per-sample results (EXP/TKP/MPO).
+    num_prior_components:
+        Number of Gaussians in the prior mixture.
+    prior_spread:
+        Standard deviation of each prior component.
+    noise_psi:
+        Optional feedback-noise parameter ψ (§7); ``None`` = noise-free.
+    maintenance:
+        How the sample pool is updated on new feedback: ``"naive"``, ``"ta"``,
+        ``"hybrid"`` (Algorithm 1) or ``"resample"`` (regenerate from scratch).
+    hybrid_gamma:
+        Fall-back parameter γ of the hybrid maintenance strategy.
+    search_sample_budget:
+        How many of the pooled weight samples are pushed through ``Top-k-Pkg``
+        when answering a top-k query (an evenly spaced subset of the pool is
+        used).  ``None`` searches for every sample, exactly as §4 describes;
+        a finite budget keeps interactive latency bounded for large pools.
+    search_beam_width:
+        Beam width passed to the package searcher (see
+        :class:`~repro.topk.package_search.TopKPackageSearcher`); ``None``
+        keeps the per-sample search exact.
+    search_items_cap:
+        Cap on items accessed per search; ``None`` means no cap.
+    seed:
+        Seed for all randomness inside the recommender.
+    """
+
+    k: int = 5
+    num_random: int = 5
+    max_package_size: int = 5
+    num_samples: int = 200
+    sampler: str = "mcmc"
+    semantics: RankingSemantics = RankingSemantics.EXP
+    num_prior_components: int = 1
+    prior_spread: float = 0.5
+    noise_psi: Optional[float] = None
+    maintenance: str = "hybrid"
+    hybrid_gamma: float = 0.025
+    search_sample_budget: Optional[int] = None
+    search_beam_width: Optional[int] = 2_000
+    search_items_cap: Optional[int] = None
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ValueError(f"k must be > 0, got {self.k}")
+        if self.num_random < 0:
+            raise ValueError(f"num_random must be >= 0, got {self.num_random}")
+        if self.max_package_size <= 0:
+            raise ValueError(
+                f"max_package_size must be > 0, got {self.max_package_size}"
+            )
+        if self.num_samples <= 0:
+            raise ValueError(f"num_samples must be > 0, got {self.num_samples}")
+        if self.sampler not in SAMPLER_NAMES:
+            raise ValueError(
+                f"sampler must be one of {SAMPLER_NAMES}, got {self.sampler!r}"
+            )
+        if self.maintenance not in MAINTENANCE_NAMES:
+            raise ValueError(
+                f"maintenance must be one of {MAINTENANCE_NAMES}, "
+                f"got {self.maintenance!r}"
+            )
+        if self.search_sample_budget is not None and self.search_sample_budget <= 0:
+            raise ValueError(
+                f"search_sample_budget must be > 0 or None, "
+                f"got {self.search_sample_budget}"
+            )
+        self.semantics = RankingSemantics.parse(self.semantics)
+
+
+@dataclass
+class RecommendationRound:
+    """What the system presented to the user in one round.
+
+    Attributes
+    ----------
+    recommended:
+        The "exploit" packages: current best under the chosen semantics.
+    random_packages:
+        The "explore" packages: drawn uniformly at random.
+    """
+
+    recommended: List[Package]
+    random_packages: List[Package] = field(default_factory=list)
+
+    @property
+    def presented(self) -> List[Package]:
+        """All packages shown to the user, recommended first."""
+        return list(self.recommended) + list(self.random_packages)
+
+    def __len__(self) -> int:
+        return len(self.recommended) + len(self.random_packages)
+
+
+class PackageRecommender:
+    """Bayesian preference-elicitation recommender for top-k packages.
+
+    Parameters
+    ----------
+    catalog:
+        The item catalog.
+    profile:
+        The aggregate feature profile ``V``.
+    config:
+        Elicitation configuration; defaults are reasonable for interactive use.
+    prior:
+        Optional custom Gaussian-mixture prior over the weight vector; by
+        default a zero-centred mixture with ``config.num_prior_components``
+        components is used.
+    predicates:
+        Optional package-schema predicates enforced on recommended packages.
+    """
+
+    def __init__(
+        self,
+        catalog: ItemCatalog,
+        profile: AggregateProfile,
+        config: Optional[ElicitationConfig] = None,
+        prior: Optional[GaussianMixture] = None,
+        predicates: Optional[PredicateSet] = None,
+    ) -> None:
+        self.config = config if config is not None else ElicitationConfig()
+        self.catalog = catalog
+        self.profile = profile
+        self.evaluator = PackageEvaluator(
+            catalog, profile, self.config.max_package_size
+        )
+        self.rng = ensure_rng(self.config.seed)
+        if prior is None:
+            prior = GaussianMixture.default_prior(
+                catalog.num_features,
+                self.config.num_prior_components,
+                self.config.prior_spread,
+                rng=self.rng,
+            )
+        if prior.dimension != catalog.num_features:
+            raise ValueError(
+                f"prior dimension {prior.dimension} does not match the catalog's "
+                f"{catalog.num_features} features"
+            )
+        self.prior = prior
+        self.noise = (
+            NoiseModel(self.config.noise_psi)
+            if self.config.noise_psi is not None
+            else None
+        )
+        self.sampler = self._build_sampler()
+        self.preferences = PreferenceStore(catalog.num_features, on_cycle="drop")
+        self.searcher = TopKPackageSearcher(
+            self.evaluator,
+            predicates=predicates,
+            beam_width=self.config.search_beam_width,
+            max_items_accessed=self.config.search_items_cap,
+        )
+        self._maintainer = self._build_maintainer()
+        self._pool: Optional[SamplePool] = None
+        self._last_round: Optional[RecommendationRound] = None
+        self.rounds_presented = 0
+        self.clicks_received = 0
+
+    # ---------------------------------------------------------------- plumbing
+    def _build_sampler(self) -> Sampler:
+        noise_probability = self.config.noise_psi
+        if self.config.sampler == "rejection":
+            return RejectionSampler(
+                self.prior, rng=self.rng, noise_probability=noise_probability
+            )
+        if self.config.sampler == "importance":
+            return ImportanceSampler(
+                self.prior, rng=self.rng, noise_probability=noise_probability
+            )
+        return MetropolisHastingsSampler(
+            self.prior, rng=self.rng, noise_probability=noise_probability
+        )
+
+    def _build_maintainer(self) -> Optional[SampleMaintainer]:
+        if self.config.maintenance == "resample":
+            return None
+        if self.config.maintenance == "naive":
+            strategy = NaiveMaintenance()
+        elif self.config.maintenance == "ta":
+            strategy = ThresholdMaintenance()
+        else:
+            strategy = HybridMaintenance(self.config.hybrid_gamma)
+        return SampleMaintainer(strategy, self.sampler)
+
+    # ------------------------------------------------------------------ state
+    @property
+    def constraints(self) -> ConstraintSet:
+        """The current feedback constraints (transitively reduced)."""
+        return ConstraintSet.from_store(self.preferences, reduced=True)
+
+    @property
+    def num_feedback_preferences(self) -> int:
+        """Number of pairwise preferences accumulated so far."""
+        return len(self.preferences)
+
+    def sample_pool(self, refresh: bool = False) -> SamplePool:
+        """The current pool of posterior weight samples (generated lazily)."""
+        if self._pool is None or refresh:
+            self._pool = self.sampler.sample(self.config.num_samples, self.constraints)
+        return self._pool
+
+    def estimated_weights(self) -> np.ndarray:
+        """Point estimate of the user's weight vector (posterior mean)."""
+        return self.sample_pool().mean_weight_vector()
+
+    # ------------------------------------------------------------- recommend
+    def current_top_k(
+        self,
+        k: Optional[int] = None,
+        semantics=None,
+    ) -> List[Package]:
+        """Top-k packages under the current posterior and ranking semantics."""
+        k = k if k is not None else self.config.k
+        semantics = (
+            RankingSemantics.parse(semantics)
+            if semantics is not None
+            else self.config.semantics
+        )
+        pool = self.sample_pool()
+        indices = self._search_sample_indices(pool)
+        results = self._per_sample_results(pool, k, indices)
+        return rank_from_samples(
+            results, k, semantics, sample_weights=pool.weights[indices]
+        )
+
+    def _search_sample_indices(self, pool: SamplePool) -> np.ndarray:
+        """Indices of the pool samples searched this round (evenly spaced subset)."""
+        budget = self.config.search_sample_budget
+        if budget is None or budget >= pool.size:
+            return np.arange(pool.size)
+        return np.linspace(0, pool.size - 1, budget).round().astype(int)
+
+    def _per_sample_results(
+        self, pool: SamplePool, k: int, indices: Optional[np.ndarray] = None
+    ) -> List[PackageSearchResult]:
+        if indices is None:
+            indices = np.arange(pool.size)
+        return [self.searcher.search(pool.samples[i], k) for i in indices]
+
+    def recommend(self) -> RecommendationRound:
+        """Produce one round of recommendations: best packages + random packages."""
+        recommended = self.current_top_k()
+        exclude = {package.items for package in recommended}
+        random_packages: List[Package] = []
+        attempts = 0
+        while (
+            len(random_packages) < self.config.num_random
+            and attempts < 50 * max(self.config.num_random, 1)
+        ):
+            attempts += 1
+            candidate = self.evaluator.random_package(self.rng)
+            if candidate.items in exclude:
+                continue
+            exclude.add(candidate.items)
+            random_packages.append(candidate)
+        round_ = RecommendationRound(recommended, random_packages)
+        self._last_round = round_
+        self.rounds_presented += 1
+        return round_
+
+    # --------------------------------------------------------------- feedback
+    def feedback(
+        self,
+        clicked: Package,
+        presented: Optional[Sequence[Package]] = None,
+    ) -> int:
+        """Record a click on ``clicked`` among ``presented`` packages.
+
+        ``presented`` defaults to the packages of the most recent
+        :meth:`recommend` round.  Returns the number of pairwise preferences
+        added (cycle-conflicting preferences are dropped).
+        """
+        if presented is None:
+            if self._last_round is None:
+                raise ValueError(
+                    "no presented packages available; call recommend() first or "
+                    "pass presented explicitly"
+                )
+            presented = self._last_round.presented
+        if clicked not in presented:
+            raise ValueError("the clicked package must be one of the presented packages")
+        added = self.preferences.add_click_feedback(self.evaluator, clicked, presented)
+        self.clicks_received += 1
+        if not added:
+            return 0
+        self._update_pool(added)
+        return len(added)
+
+    def _update_pool(self, new_preferences) -> None:
+        """Maintain (or regenerate) the sample pool after new feedback."""
+        if self._pool is None:
+            return
+        if self._maintainer is None:
+            self._pool = None  # force full regeneration on next use
+            return
+        constraints = self.constraints
+        pool = self._pool
+        for preference in new_preferences:
+            pool, _ = self._maintainer.apply_feedback(
+                pool, preference.direction, updated_constraints=constraints
+            )
+        self._pool = pool

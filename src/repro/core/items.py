@@ -1,0 +1,158 @@
+"""Item model: the set ``T`` of items with ``m`` numeric features.
+
+The paper's problem setting (§2) assumes a set ``T`` of ``n`` items, each
+represented by an ``m``-dimensional non-negative feature vector; individual
+feature values may be ``null`` (the item does not carry that feature).
+:class:`ItemCatalog` wraps the item–feature matrix, tracks nulls with a mask,
+and exposes the per-feature statistics the rest of the system needs (maximum
+values for normalisation, per-feature sorted orderings for the top-k search).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.validation import require_matrix
+
+
+class ItemCatalog:
+    """A collection of items described by a numeric feature matrix.
+
+    Parameters
+    ----------
+    features:
+        ``(n, m)`` matrix of feature values.  Values must be non-negative
+        (the paper assumes non-negative feature values w.l.o.g.); ``NaN``
+        entries are interpreted as ``null`` (feature absent for that item).
+    feature_names:
+        Optional human-readable feature names; defaults to ``f1..fm``.
+    item_ids:
+        Optional external identifiers; defaults to ``0..n-1``.
+    """
+
+    def __init__(
+        self,
+        features: np.ndarray,
+        feature_names: Optional[Sequence[str]] = None,
+        item_ids: Optional[Sequence] = None,
+    ) -> None:
+        matrix = require_matrix(features, "features")
+        if matrix.shape[0] == 0:
+            raise ValueError("an ItemCatalog requires at least one item")
+        finite = matrix[~np.isnan(matrix)]
+        if finite.size and (finite < 0).any():
+            raise ValueError(
+                "feature values must be non-negative (the paper assumes "
+                "non-negative values w.l.o.g.); found negative entries"
+            )
+        self._features = matrix
+        self._null_mask = np.isnan(matrix)
+        if feature_names is None:
+            feature_names = [f"f{i + 1}" for i in range(matrix.shape[1])]
+        if len(feature_names) != matrix.shape[1]:
+            raise ValueError(
+                f"expected {matrix.shape[1]} feature names, got {len(feature_names)}"
+            )
+        self.feature_names: List[str] = list(feature_names)
+        if item_ids is None:
+            item_ids = list(range(matrix.shape[0]))
+        if len(item_ids) != matrix.shape[0]:
+            raise ValueError(
+                f"expected {matrix.shape[0]} item ids, got {len(item_ids)}"
+            )
+        self.item_ids = list(item_ids)
+
+    # ------------------------------------------------------------------ shape
+    @property
+    def num_items(self) -> int:
+        """Number of items ``n``."""
+        return self._features.shape[0]
+
+    @property
+    def num_features(self) -> int:
+        """Number of features ``m``."""
+        return self._features.shape[1]
+
+    def __len__(self) -> int:
+        return self.num_items
+
+    # ------------------------------------------------------------------ access
+    @property
+    def features(self) -> np.ndarray:
+        """The raw ``(n, m)`` feature matrix (NaN marks null values)."""
+        return self._features
+
+    @property
+    def null_mask(self) -> np.ndarray:
+        """Boolean ``(n, m)`` mask; ``True`` where the feature value is null."""
+        return self._null_mask
+
+    def feature_values(self, item_index: int) -> np.ndarray:
+        """Feature vector of one item (may contain NaN for null features)."""
+        return self._features[item_index]
+
+    def feature_column(self, feature_index: int, fill_null: float = 0.0) -> np.ndarray:
+        """Values of one feature across all items, with nulls filled."""
+        column = self._features[:, feature_index].copy()
+        column[np.isnan(column)] = fill_null
+        return column
+
+    def filled(self, fill_null: float = 0.0) -> np.ndarray:
+        """Copy of the feature matrix with null values replaced by ``fill_null``."""
+        matrix = self._features.copy()
+        matrix[self._null_mask] = fill_null
+        return matrix
+
+    def has_nulls(self) -> bool:
+        """Whether any item has a null feature value."""
+        return bool(self._null_mask.any())
+
+    # ------------------------------------------------------------------ stats
+    def feature_max(self) -> np.ndarray:
+        """Per-feature maximum value over items (nulls ignored, 0 if all null)."""
+        filled = self.filled(0.0)
+        return filled.max(axis=0)
+
+    def feature_min(self) -> np.ndarray:
+        """Per-feature minimum value over non-null items (0 if all null)."""
+        matrix = self._features.copy()
+        matrix[self._null_mask] = np.inf
+        mins = matrix.min(axis=0)
+        mins[~np.isfinite(mins)] = 0.0
+        return mins
+
+    def argsort_feature(self, feature_index: int, descending: bool = True) -> np.ndarray:
+        """Indices of items sorted by one feature (nulls sort last)."""
+        column = self._features[:, feature_index].copy()
+        if descending:
+            column[np.isnan(column)] = -np.inf
+            return np.argsort(-column, kind="stable")
+        column[np.isnan(column)] = np.inf
+        return np.argsort(column, kind="stable")
+
+    # ------------------------------------------------------------------ slicing
+    def subset(self, indices: Iterable[int]) -> "ItemCatalog":
+        """A new catalog restricted to ``indices`` (keeps ids and names)."""
+        idx = np.asarray(list(indices), dtype=int)
+        return ItemCatalog(
+            self._features[idx],
+            feature_names=self.feature_names,
+            item_ids=[self.item_ids[i] for i in idx],
+        )
+
+    def select_features(self, feature_indices: Iterable[int]) -> "ItemCatalog":
+        """A new catalog restricted to the given feature columns."""
+        idx = list(feature_indices)
+        return ItemCatalog(
+            self._features[:, idx],
+            feature_names=[self.feature_names[i] for i in idx],
+            item_ids=self.item_ids,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"ItemCatalog(num_items={self.num_items}, "
+            f"num_features={self.num_features})"
+        )

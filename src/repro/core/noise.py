@@ -1,0 +1,81 @@
+"""Noisy-feedback model (§7).
+
+A user's online interaction is noisy: clicks can be accidental, or the user
+may change their mind.  The paper adopts the standard model in which each
+feedback preference is independently *correct* with probability ψ.  Two places
+consume this model:
+
+* the samplers: a candidate weight vector violating ``x`` feedback preferences
+  is rejected with probability ``1 - (1 - ψ)^x`` (the probability that at
+  least one of the violated preferences is correct) instead of always;
+* the simulated user: with probability ``1 - ψ`` the click goes to a random
+  presented package instead of the truly best one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import require_probability
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Independent per-feedback correctness with probability ``psi``.
+
+    ``psi = 1`` is the noise-free setting (every feedback is a hard
+    constraint); lower values soften the constraints accordingly.
+    """
+
+    psi: float = 1.0
+
+    def __post_init__(self) -> None:
+        require_probability(self.psi, "psi")
+
+    # -------------------------------------------------------------- sampling
+    def rejection_probability(self, num_violations: int) -> float:
+        """Probability that a sample violating ``num_violations`` feedbacks is rejected.
+
+        Equals ``1 - (1 - ψ)^x``: the chance that at least one of the violated
+        feedback preferences was actually correct.
+        """
+        if num_violations < 0:
+            raise ValueError(
+                f"num_violations must be >= 0, got {num_violations}"
+            )
+        if num_violations == 0:
+            return 0.0
+        return 1.0 - (1.0 - self.psi) ** num_violations
+
+    def should_reject(self, num_violations: int, rng: RngLike = None) -> bool:
+        """Sample the rejection decision for a weight vector."""
+        probability = self.rejection_probability(num_violations)
+        if probability >= 1.0:
+            return True
+        if probability <= 0.0:
+            return False
+        return bool(ensure_rng(rng).random() < probability)
+
+    # ------------------------------------------------------------------ users
+    def corrupt_choice(self, best_index: int, num_options: int, rng: RngLike = None) -> int:
+        """The index the (noisy) user actually clicks.
+
+        With probability ψ the truly best option is clicked; otherwise a
+        uniformly random presented option is clicked instead.
+        """
+        if num_options <= 0:
+            raise ValueError(f"num_options must be > 0, got {num_options}")
+        if not 0 <= best_index < num_options:
+            raise ValueError(
+                f"best_index must be within [0, {num_options}), got {best_index}"
+            )
+        generator = ensure_rng(rng)
+        if self.psi >= 1.0 or generator.random() < self.psi:
+            return best_index
+        return int(generator.integers(0, num_options))
+
+    @property
+    def is_noise_free(self) -> bool:
+        """Whether the model degenerates to hard constraints (ψ = 1)."""
+        return self.psi >= 1.0

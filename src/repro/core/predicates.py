@@ -1,0 +1,154 @@
+"""Package-schema predicates (§7 extension).
+
+Users may constrain the *schema* of a desirable package — e.g. "when buying a
+set of books, at least two should be novels".  The paper handles such
+predicates inside the top-package generation: a candidate package is only
+retained if it satisfies every specified predicate.  Items in this library are
+numeric feature vectors, so predicates are expressed over the set of items
+matching a caller-supplied condition (an explicit item set, or a boolean
+condition over an item's feature vector).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Iterable, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.core.items import ItemCatalog
+from repro.core.packages import Package
+
+
+class PackagePredicate(abc.ABC):
+    """A boolean condition a package must satisfy to be recommendable."""
+
+    @abc.abstractmethod
+    def satisfied_by(self, package: Package, catalog: ItemCatalog) -> bool:
+        """Whether ``package`` (over ``catalog``) satisfies the predicate."""
+
+
+class CallablePredicate(PackagePredicate):
+    """Wrap an arbitrary ``(package, catalog) -> bool`` callable as a predicate."""
+
+    def __init__(self, func: Callable[[Package, ItemCatalog], bool], name: str = "callable") -> None:
+        self.func = func
+        self.name = name
+
+    def satisfied_by(self, package: Package, catalog: ItemCatalog) -> bool:
+        return bool(self.func(package, catalog))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"CallablePredicate({self.name})"
+
+
+class _CountingPredicate(PackagePredicate):
+    """Shared machinery for predicates counting matching items in a package."""
+
+    def __init__(
+        self,
+        matching_items: Optional[Iterable[int]] = None,
+        item_condition: Optional[Callable[[np.ndarray], bool]] = None,
+    ) -> None:
+        if (matching_items is None) == (item_condition is None):
+            raise ValueError(
+                "exactly one of matching_items or item_condition must be given"
+            )
+        self._matching: Optional[Set[int]] = (
+            set(int(i) for i in matching_items) if matching_items is not None else None
+        )
+        self._condition = item_condition
+
+    def _count_matching(self, package: Package, catalog: ItemCatalog) -> int:
+        if self._matching is not None:
+            return sum(1 for item in package if item in self._matching)
+        count = 0
+        for item in package:
+            if bool(self._condition(catalog.feature_values(item))):
+                count += 1
+        return count
+
+
+class MinCountPredicate(_CountingPredicate):
+    """At least ``minimum`` items of the package must match the condition.
+
+    Examples
+    --------
+    "at least two of the books must be novels" →
+    ``MinCountPredicate(minimum=2, matching_items=novel_item_indices)``.
+    """
+
+    def __init__(
+        self,
+        minimum: int,
+        matching_items: Optional[Iterable[int]] = None,
+        item_condition: Optional[Callable[[np.ndarray], bool]] = None,
+    ) -> None:
+        super().__init__(matching_items, item_condition)
+        if minimum < 0:
+            raise ValueError(f"minimum must be >= 0, got {minimum}")
+        self.minimum = minimum
+
+    def satisfied_by(self, package: Package, catalog: ItemCatalog) -> bool:
+        return self._count_matching(package, catalog) >= self.minimum
+
+
+class MaxCountPredicate(_CountingPredicate):
+    """At most ``maximum`` items of the package may match the condition."""
+
+    def __init__(
+        self,
+        maximum: int,
+        matching_items: Optional[Iterable[int]] = None,
+        item_condition: Optional[Callable[[np.ndarray], bool]] = None,
+    ) -> None:
+        super().__init__(matching_items, item_condition)
+        if maximum < 0:
+            raise ValueError(f"maximum must be >= 0, got {maximum}")
+        self.maximum = maximum
+
+    def satisfied_by(self, package: Package, catalog: ItemCatalog) -> bool:
+        return self._count_matching(package, catalog) <= self.maximum
+
+
+class SizePredicate(PackagePredicate):
+    """The package size must lie within ``[min_size, max_size]``."""
+
+    def __init__(self, min_size: int = 1, max_size: Optional[int] = None) -> None:
+        if min_size < 1:
+            raise ValueError(f"min_size must be >= 1, got {min_size}")
+        if max_size is not None and max_size < min_size:
+            raise ValueError(
+                f"max_size ({max_size}) must be >= min_size ({min_size})"
+            )
+        self.min_size = min_size
+        self.max_size = max_size
+
+    def satisfied_by(self, package: Package, catalog: ItemCatalog) -> bool:
+        if package.size < self.min_size:
+            return False
+        if self.max_size is not None and package.size > self.max_size:
+            return False
+        return True
+
+
+class PredicateSet:
+    """A conjunction of package predicates (all must hold)."""
+
+    def __init__(self, predicates: Sequence[PackagePredicate] = ()) -> None:
+        self.predicates = list(predicates)
+
+    def add(self, predicate: PackagePredicate) -> "PredicateSet":
+        """Add a predicate (returns self for chaining)."""
+        self.predicates.append(predicate)
+        return self
+
+    def satisfied_by(self, package: Package, catalog: ItemCatalog) -> bool:
+        """Whether the package satisfies every predicate in the set."""
+        return all(p.satisfied_by(package, catalog) for p in self.predicates)
+
+    def __len__(self) -> int:
+        return len(self.predicates)
+
+    def __iter__(self):
+        return iter(self.predicates)

@@ -1,0 +1,208 @@
+"""Aggregate feature profiles (Definition 1 of the paper).
+
+A profile ``V = (A1, ..., Am)`` assigns one aggregation function to each item
+feature; the feature vector of a package is obtained by applying ``Ai`` to the
+(non-null) values of feature ``fi`` over the items in the package.  Supported
+aggregations are ``min``, ``max``, ``sum``, ``avg`` and ``null`` (ignore the
+feature).
+
+The profile also knows how to compute, for a given item catalog and maximum
+package size φ, the *maximum achievable aggregate value* per feature, which the
+paper uses to normalise package feature values into ``[0, 1]`` (see Example 1:
+for a ``sum`` feature the maximum is the sum of the φ largest item values, for
+``avg``/``max``/``min`` it is the largest single item value).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.items import ItemCatalog
+
+
+class Aggregation(enum.Enum):
+    """Aggregation functions allowed in an aggregate feature profile."""
+
+    MIN = "min"
+    MAX = "max"
+    SUM = "sum"
+    AVG = "avg"
+    NULL = "null"
+
+    @classmethod
+    def parse(cls, value) -> "Aggregation":
+        """Coerce a string or Aggregation into an Aggregation member."""
+        if isinstance(value, Aggregation):
+            return value
+        if isinstance(value, str):
+            try:
+                return cls(value.lower())
+            except ValueError:
+                raise ValueError(
+                    f"unknown aggregation {value!r}; expected one of "
+                    f"{[m.value for m in cls]}"
+                ) from None
+        raise TypeError(f"cannot interpret {value!r} as an Aggregation")
+
+
+class AggregateProfile:
+    """An aggregate feature profile ``V = (A1, ..., Am)``.
+
+    Parameters
+    ----------
+    aggregations:
+        One aggregation (or its string name) per feature.
+    feature_names:
+        Optional names, used only for display.
+    """
+
+    def __init__(
+        self,
+        aggregations: Sequence,
+        feature_names: Optional[Sequence[str]] = None,
+    ) -> None:
+        if len(aggregations) == 0:
+            raise ValueError("a profile requires at least one feature")
+        self.aggregations: Tuple[Aggregation, ...] = tuple(
+            Aggregation.parse(a) for a in aggregations
+        )
+        if all(a is Aggregation.NULL for a in self.aggregations):
+            raise ValueError("a profile cannot ignore every feature")
+        if feature_names is not None and len(feature_names) != len(self.aggregations):
+            raise ValueError(
+                f"expected {len(self.aggregations)} feature names, "
+                f"got {len(feature_names)}"
+            )
+        self.feature_names = list(feature_names) if feature_names is not None else None
+
+    # ------------------------------------------------------------------ basics
+    @property
+    def num_features(self) -> int:
+        """Number of features covered by the profile."""
+        return len(self.aggregations)
+
+    def active_features(self) -> List[int]:
+        """Indices of features whose aggregation is not ``null``."""
+        return [
+            i for i, agg in enumerate(self.aggregations) if agg is not Aggregation.NULL
+        ]
+
+    def __len__(self) -> int:
+        return self.num_features
+
+    def __getitem__(self, index: int) -> Aggregation:
+        return self.aggregations[index]
+
+    def __iter__(self):
+        return iter(self.aggregations)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, AggregateProfile):
+            return NotImplemented
+        return self.aggregations == other.aggregations
+
+    def __hash__(self) -> int:
+        return hash(self.aggregations)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        parts = [agg.value for agg in self.aggregations]
+        return f"AggregateProfile({parts})"
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def uniform(cls, num_features: int, aggregation="avg") -> "AggregateProfile":
+        """A profile applying the same aggregation to every feature."""
+        return cls([aggregation] * num_features)
+
+    @classmethod
+    def from_mapping(
+        cls, num_features: int, mapping: dict, default="null"
+    ) -> "AggregateProfile":
+        """Build a profile from ``{feature_index: aggregation}`` overrides."""
+        aggs = [default] * num_features
+        for index, aggregation in mapping.items():
+            if not 0 <= index < num_features:
+                raise ValueError(
+                    f"feature index {index} out of range for {num_features} features"
+                )
+            aggs[index] = aggregation
+        return cls(aggs)
+
+    # -------------------------------------------------------------- evaluation
+    def aggregate(self, values: np.ndarray, null_mask: Optional[np.ndarray] = None) -> np.ndarray:
+        """Aggregate the ``(size, m)`` item-value block into a package vector.
+
+        Null (NaN or masked) values are excluded from each feature's
+        aggregation, as in Definition 1; a feature with no non-null value in
+        the package aggregates to 0.  Features with a ``null`` aggregation
+        always produce 0 so they drop out of any linear utility.
+        """
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 2 or values.shape[1] != self.num_features:
+            raise ValueError(
+                f"values must have shape (size, {self.num_features}), "
+                f"got {values.shape}"
+            )
+        if null_mask is None:
+            null_mask = np.isnan(values)
+        result = np.zeros(self.num_features)
+        for j, aggregation in enumerate(self.aggregations):
+            if aggregation is Aggregation.NULL:
+                continue
+            column = values[:, j]
+            valid = column[~null_mask[:, j]]
+            if valid.size == 0:
+                result[j] = 0.0
+                continue
+            if aggregation is Aggregation.SUM:
+                result[j] = valid.sum()
+            elif aggregation is Aggregation.AVG:
+                # Definition 1: avg_i(p) = sum of non-null values / |p|.
+                result[j] = valid.sum() / values.shape[0]
+            elif aggregation is Aggregation.MIN:
+                result[j] = valid.min()
+            elif aggregation is Aggregation.MAX:
+                result[j] = valid.max()
+        return result
+
+    def max_aggregate_values(
+        self, catalog: ItemCatalog, max_package_size: int
+    ) -> np.ndarray:
+        """Maximum achievable aggregate value per feature (used for normalising).
+
+        For ``sum`` this is the sum of the φ largest item values of the
+        feature; for ``min``, ``max`` and ``avg`` it is the single largest item
+        value (achieved by a singleton package).  Features aggregated with
+        ``null`` get a normaliser of 1 so division is a no-op.
+        """
+        if max_package_size <= 0:
+            raise ValueError(
+                f"max_package_size must be > 0, got {max_package_size}"
+            )
+        normalisers = np.ones(self.num_features)
+        for j, aggregation in enumerate(self.aggregations):
+            if aggregation is Aggregation.NULL:
+                continue
+            column = catalog.feature_column(j, fill_null=0.0)
+            if aggregation is Aggregation.SUM:
+                top = np.sort(column)[::-1][:max_package_size]
+                value = float(top.sum())
+            else:
+                value = float(column.max())
+            normalisers[j] = value if value > 0 else 1.0
+        return normalisers
+
+    def describe(self) -> str:
+        """Human-readable one-line description of the profile."""
+        names = self.feature_names or [
+            f"f{i + 1}" for i in range(self.num_features)
+        ]
+        parts = [
+            f"{agg.value}({name})"
+            for name, agg in zip(names, self.aggregations)
+            if agg is not Aggregation.NULL
+        ]
+        return ", ".join(parts)

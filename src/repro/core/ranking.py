@@ -1,0 +1,234 @@
+"""Ranking semantics under utility-function uncertainty: EXP, TKP, MPO (§2.2, §4).
+
+Given a pool of weight-vector samples, the desirability of packages can be
+aggregated under three semantics studied in different communities:
+
+* **EXP** — rank packages by expected utility ``E_w[w · p]``.
+* **TKP** — rank packages by the probability of appearing among the top-σ
+  packages over the weight distribution.
+* **MPO** — return the single most probable *top-k list* (the list as a whole,
+  not individual packages).
+
+Two APIs are provided:
+
+* the *candidate-space* functions (:func:`rank_packages_exp`,
+  :func:`rank_packages_tkp`, :func:`rank_packages_mpo`) operate on an explicit
+  matrix of candidate package feature vectors, which is how the paper's
+  Figure 2 worked example and the sampled-package-space experiments work;
+* :func:`rank_from_samples` aggregates per-sample ``Top-k-Pkg`` results the
+  way §4 describes (utility sums / appearance counters / list counters, each
+  weighted by importance weights when present).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.packages import Package
+from repro.sampling.base import SamplePool
+from repro.topk.package_search import PackageSearchResult
+from repro.utils.validation import require_matrix
+
+
+class RankingSemantics(enum.Enum):
+    """The three ranking semantics supported by the system."""
+
+    EXP = "exp"
+    TKP = "tkp"
+    MPO = "mpo"
+
+    @classmethod
+    def parse(cls, value) -> "RankingSemantics":
+        """Coerce a string or member into a :class:`RankingSemantics`."""
+        if isinstance(value, RankingSemantics):
+            return value
+        if isinstance(value, str):
+            try:
+                return cls(value.lower())
+            except ValueError:
+                raise ValueError(
+                    f"unknown ranking semantics {value!r}; expected one of "
+                    f"{[m.value for m in cls]}"
+                ) from None
+        raise TypeError(f"cannot interpret {value!r} as RankingSemantics")
+
+
+# --------------------------------------------------------------------------
+# Candidate-space ranking (explicit package feature vectors)
+# --------------------------------------------------------------------------
+def _pool_to_arrays(pool) -> Tuple[np.ndarray, np.ndarray]:
+    """Accept a SamplePool or a raw (samples, weights) pair."""
+    if isinstance(pool, SamplePool):
+        return pool.samples, pool.normalised_weights()
+    samples, weights = pool
+    samples = np.atleast_2d(np.asarray(samples, dtype=float))
+    weights = np.asarray(weights, dtype=float).ravel()
+    total = weights.sum()
+    if total > 0:
+        weights = weights / total
+    return samples, weights
+
+
+def _tie_broken_order(scores: np.ndarray) -> np.ndarray:
+    """Indices sorted by decreasing score, ties broken by candidate index."""
+    return np.lexsort((np.arange(scores.shape[0]), -scores))
+
+
+def rank_packages_exp(
+    candidate_vectors: np.ndarray,
+    pool,
+    k: int,
+) -> List[Tuple[int, float]]:
+    """Top-k candidates by expected utility under the sampled weight distribution.
+
+    Returns ``(candidate_index, expected_utility)`` pairs in rank order.
+    """
+    vectors = require_matrix(candidate_vectors, "candidate_vectors")
+    samples, weights = _pool_to_arrays(pool)
+    if samples.shape[0] == 0:
+        raise ValueError("the sample pool is empty")
+    _check_k(k)
+    utilities = vectors @ samples.T  # (num_candidates, num_samples)
+    expected = utilities @ weights
+    order = _tie_broken_order(expected)[:k]
+    return [(int(i), float(expected[i])) for i in order]
+
+
+def rank_packages_tkp(
+    candidate_vectors: np.ndarray,
+    pool,
+    k: int,
+    sigma: Optional[int] = None,
+) -> List[Tuple[int, float]]:
+    """Top-k candidates by probability of ranking among the top-σ packages.
+
+    ``sigma`` defaults to ``k``.  Returns ``(candidate_index, probability)``
+    pairs in rank order.
+    """
+    vectors = require_matrix(candidate_vectors, "candidate_vectors")
+    samples, weights = _pool_to_arrays(pool)
+    if samples.shape[0] == 0:
+        raise ValueError("the sample pool is empty")
+    _check_k(k)
+    if sigma is None:
+        sigma = k
+    if sigma <= 0:
+        raise ValueError(f"sigma must be > 0, got {sigma}")
+    sigma = min(sigma, vectors.shape[0])
+    utilities = vectors @ samples.T
+    probabilities = np.zeros(vectors.shape[0])
+    for s in range(samples.shape[0]):
+        column = utilities[:, s]
+        top = _tie_broken_order(column)[:sigma]
+        probabilities[top] += weights[s]
+    order = _tie_broken_order(probabilities)[:k]
+    return [(int(i), float(probabilities[i])) for i in order]
+
+
+def rank_packages_mpo(
+    candidate_vectors: np.ndarray,
+    pool,
+    k: int,
+) -> Tuple[List[int], float]:
+    """The most probable top-k list over the sampled weight distribution.
+
+    Returns ``(list_of_candidate_indices, probability)`` where the list is the
+    ordered top-k under the winning weight region.
+    """
+    vectors = require_matrix(candidate_vectors, "candidate_vectors")
+    samples, weights = _pool_to_arrays(pool)
+    if samples.shape[0] == 0:
+        raise ValueError("the sample pool is empty")
+    _check_k(k)
+    k = min(k, vectors.shape[0])
+    utilities = vectors @ samples.T
+    list_probability: Dict[Tuple[int, ...], float] = defaultdict(float)
+    for s in range(samples.shape[0]):
+        column = utilities[:, s]
+        top = tuple(int(i) for i in _tie_broken_order(column)[:k])
+        list_probability[top] += weights[s]
+    best_list, best_probability = max(
+        list_probability.items(), key=lambda pair: (pair[1], tuple(-i for i in pair[0]))
+    )
+    return list(best_list), float(best_probability)
+
+
+def _check_k(k: int) -> None:
+    if k <= 0:
+        raise ValueError(f"k must be > 0, got {k}")
+
+
+# --------------------------------------------------------------------------
+# Aggregation of per-sample Top-k-Pkg results (§4)
+# --------------------------------------------------------------------------
+def rank_from_samples(
+    per_sample_results: Sequence[PackageSearchResult],
+    k: int,
+    semantics=RankingSemantics.EXP,
+    sample_weights: Optional[np.ndarray] = None,
+) -> List[Package]:
+    """Aggregate per-sample top-k results into a final top-k package list.
+
+    Parameters
+    ----------
+    per_sample_results:
+        One :class:`~repro.topk.package_search.PackageSearchResult` per weight
+        sample (the output of running ``Top-k-Pkg`` per sample).
+    k:
+        Number of packages to return.
+    semantics:
+        EXP, TKP or MPO (string or enum).
+    sample_weights:
+        Optional importance weights ``q(w)``, one per sample; defaults to
+        uniform.  Under EXP they multiply the utility contributions; under
+        TKP/MPO they are added to the appearance counters instead of one, as
+        §3.2.1 prescribes.
+    """
+    _check_k(k)
+    semantics = RankingSemantics.parse(semantics)
+    num_samples = len(per_sample_results)
+    if num_samples == 0:
+        raise ValueError("at least one per-sample result is required")
+    if sample_weights is None:
+        weights = np.ones(num_samples)
+    else:
+        weights = np.asarray(sample_weights, dtype=float).ravel()
+        if weights.shape[0] != num_samples:
+            raise ValueError(
+                f"expected {num_samples} sample weights, got {weights.shape[0]}"
+            )
+
+    if semantics is RankingSemantics.EXP:
+        utility_sum: Dict[Tuple[int, ...], float] = defaultdict(float)
+        weight_sum: Dict[Tuple[int, ...], float] = defaultdict(float)
+        for result, q in zip(per_sample_results, weights):
+            for package, utility in result.as_pairs():
+                utility_sum[package.items] += q * utility
+                weight_sum[package.items] += q
+        scores = {
+            items: utility_sum[items] / weight_sum[items]
+            for items in utility_sum
+            if weight_sum[items] > 0
+        }
+        ranked = sorted(scores.items(), key=lambda pair: (-pair[1], pair[0]))
+        return [Package(items) for items, _ in ranked[:k]]
+
+    if semantics is RankingSemantics.TKP:
+        counters: Dict[Tuple[int, ...], float] = defaultdict(float)
+        for result, q in zip(per_sample_results, weights):
+            for package in result.packages:
+                counters[package.items] += q
+        ranked = sorted(counters.items(), key=lambda pair: (-pair[1], pair[0]))
+        return [Package(items) for items, _ in ranked[:k]]
+
+    # MPO: count identical top-k lists.
+    list_counters: Dict[Tuple[Tuple[int, ...], ...], float] = defaultdict(float)
+    for result, q in zip(per_sample_results, weights):
+        key = tuple(package.items for package in result.packages[:k])
+        list_counters[key] += q
+    best_list = max(list_counters.items(), key=lambda pair: (pair[1], pair[0]))[0]
+    return [Package(items) for items in best_list]

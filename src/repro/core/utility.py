@@ -1,0 +1,166 @@
+"""Linear package utility functions (Equation 1 of the paper).
+
+A user's preference over packages is modelled as ``U(p) = w · p`` where ``p``
+is the package's normalised aggregate feature vector and ``w ∈ [-1, 1]^m``.
+A positive weight means larger feature values are preferred (e.g. rating); a
+negative weight means smaller values are preferred (e.g. cost).
+
+:class:`LinearUtility` also answers whether the utility function is
+*set-monotone* for a given profile (§4.1): the upper-bound routine of the
+``Top-k-Pkg`` search behaves differently for set-monotone functions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.packages import Package, PackageEvaluator
+from repro.core.profiles import AggregateProfile, Aggregation
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import require_vector
+
+
+class LinearUtility:
+    """An additive (linear) utility function over package feature vectors.
+
+    Parameters
+    ----------
+    weights:
+        The weight vector ``w``; each component should lie in ``[-1, 1]``
+        (enforced unless ``clip=False`` and the value is only slightly out of
+        range due to floating point noise).
+    clip:
+        When ``True`` (default), weights are clipped into ``[-1, 1]``; when
+        ``False``, out-of-range weights raise ``ValueError``.
+    """
+
+    def __init__(self, weights: np.ndarray, clip: bool = True) -> None:
+        weights = require_vector(weights, "weights")
+        if clip:
+            weights = np.clip(weights, -1.0, 1.0)
+        elif (np.abs(weights) > 1.0 + 1e-9).any():
+            raise ValueError(
+                "weights must lie in [-1, 1]; pass clip=True to clip them"
+            )
+        self.weights = weights
+
+    # ------------------------------------------------------------------ basics
+    @property
+    def num_features(self) -> int:
+        """Dimensionality of the weight vector."""
+        return self.weights.shape[0]
+
+    def value(self, package_vector: np.ndarray) -> float:
+        """Utility of a (normalised) package feature vector."""
+        vector = require_vector(package_vector, "package_vector", length=self.num_features)
+        return float(vector @ self.weights)
+
+    def values(self, package_vectors: np.ndarray) -> np.ndarray:
+        """Utilities of a stack of package feature vectors."""
+        matrix = np.asarray(package_vectors, dtype=float)
+        if matrix.ndim == 1:
+            matrix = matrix[None, :]
+        return matrix @ self.weights
+
+    def package_utility(self, evaluator: PackageEvaluator, package: Package) -> float:
+        """Utility of ``package`` evaluated through ``evaluator``."""
+        return evaluator.utility(package, self.weights)
+
+    def prefers(
+        self,
+        evaluator: PackageEvaluator,
+        first: Package,
+        second: Package,
+    ) -> bool:
+        """Whether ``first`` is (strictly or tie-broken) preferred to ``second``.
+
+        Ties in utility are resolved deterministically by package id, as the
+        paper assumes (§2.1, following Soliman et al.).
+        """
+        u_first = evaluator.utility(first, self.weights)
+        u_second = evaluator.utility(second, self.weights)
+        if u_first != u_second:
+            return u_first > u_second
+        return first.package_id < second.package_id
+
+    # ------------------------------------------------------------ monotonicity
+    def is_set_monotone(self, profile: AggregateProfile) -> bool:
+        """Whether ``U(p ∪ p') >= U(p)`` for all packages (given non-negative values).
+
+        Per feature, adding items can only help (or not hurt) when:
+
+        * aggregation is ``sum`` or ``max`` and the weight is >= 0,
+        * aggregation is ``min`` and the weight is <= 0 (adding items can only
+          lower the minimum, which increases a negatively-weighted term),
+        * the weight is exactly 0 or the aggregation is ``null``.
+
+        ``avg`` is never set-monotone for a non-zero weight because adding an
+        item can move the average either way.
+        """
+        if profile.num_features != self.num_features:
+            raise ValueError(
+                f"profile has {profile.num_features} features but the utility "
+                f"has {self.num_features}"
+            )
+        for weight, aggregation in zip(self.weights, profile.aggregations):
+            if aggregation is Aggregation.NULL or weight == 0.0:
+                continue
+            if aggregation in (Aggregation.SUM, Aggregation.MAX):
+                if weight < 0:
+                    return False
+            elif aggregation is Aggregation.MIN:
+                if weight > 0:
+                    return False
+            elif aggregation is Aggregation.AVG:
+                return False
+        return True
+
+    # ----------------------------------------------------------------- algebra
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, LinearUtility):
+            return NotImplemented
+        return np.array_equal(self.weights, other.weights)
+
+    def __hash__(self) -> int:
+        return hash(self.weights.tobytes())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"LinearUtility({np.round(self.weights, 4).tolist()})"
+
+
+def sample_random_utility(
+    num_features: int,
+    rng: RngLike = None,
+    signs: Optional[Sequence[int]] = None,
+) -> LinearUtility:
+    """Draw a random utility function with weights uniform in ``[-1, 1]``.
+
+    Parameters
+    ----------
+    num_features:
+        Dimensionality of the weight vector.
+    rng:
+        Seed or generator.
+    signs:
+        Optional per-feature sign constraints: ``+1`` forces a non-negative
+        weight, ``-1`` forces a non-positive weight, ``0`` leaves the weight
+        unconstrained.  Useful for scenarios like "cost is always bad, rating
+        always good".
+    """
+    if num_features <= 0:
+        raise ValueError(f"num_features must be > 0, got {num_features}")
+    generator = ensure_rng(rng)
+    weights = generator.uniform(-1.0, 1.0, size=num_features)
+    if signs is not None:
+        if len(signs) != num_features:
+            raise ValueError(
+                f"expected {num_features} sign constraints, got {len(signs)}"
+            )
+        for i, sign in enumerate(signs):
+            if sign > 0:
+                weights[i] = abs(weights[i])
+            elif sign < 0:
+                weights[i] = -abs(weights[i])
+    return LinearUtility(weights)

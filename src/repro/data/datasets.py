@@ -1,0 +1,89 @@
+"""Dataset catalog: a single entry point for every workload in the paper.
+
+Figure 6 runs over five datasets named UNI, PWR, COR, ANT and NBA.  The
+experiment harness and the examples refer to them by name through
+:func:`load_benchmark_dataset`, which takes care of the scaled-down sizes
+used in quick/laptop runs vs. the paper's full-scale sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.data.generators import generate_dataset
+from repro.data.nba import NBA_NUM_PLAYERS, generate_nba_dataset
+from repro.utils.rng import RngLike
+
+#: Dataset names used throughout the paper's Figure 6.
+BENCHMARK_DATASETS: Tuple[str, ...] = ("UNI", "PWR", "COR", "ANT", "NBA")
+
+
+def load_benchmark_dataset(
+    name: str,
+    num_tuples: Optional[int] = None,
+    num_features: int = 10,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Load one of the paper's five benchmark datasets by name.
+
+    Parameters
+    ----------
+    name:
+        ``"UNI"``, ``"PWR"``, ``"COR"``, ``"ANT"`` or ``"NBA"`` (case-insensitive).
+    num_tuples:
+        Number of items.  Defaults to the paper's sizes (100,000 for the
+        synthetic datasets, 3705 for NBA); pass a smaller value for quick runs.
+    num_features:
+        Number of features (the paper uses 10 everywhere).
+    rng:
+        Seed or generator for reproducibility.
+    """
+    key = name.upper()
+    if key == "NBA":
+        players = num_tuples if num_tuples is not None else NBA_NUM_PLAYERS
+        return generate_nba_dataset(players, num_features, rng)
+    if key in ("UNI", "PWR", "COR", "ANT"):
+        tuples = num_tuples if num_tuples is not None else 100_000
+        return generate_dataset(key, tuples, num_features, rng)
+    raise ValueError(
+        f"unknown dataset {name!r}; expected one of {BENCHMARK_DATASETS}"
+    )
+
+
+@dataclass
+class DatasetCatalog:
+    """A memoising catalog of benchmark datasets for an experiment run.
+
+    The experiment harness repeatedly needs the same dataset at the same size;
+    the catalog generates each combination once per instance and caches it.
+    """
+
+    num_tuples: Optional[int] = None
+    num_features: int = 10
+    seed: Optional[int] = 0
+    _cache: Dict[Tuple[str, Optional[int], int], np.ndarray] = field(
+        default_factory=dict, repr=False
+    )
+
+    def get(
+        self,
+        name: str,
+        num_tuples: Optional[int] = None,
+        num_features: Optional[int] = None,
+    ) -> np.ndarray:
+        """Return (and cache) the dataset ``name`` at the requested size."""
+        tuples = num_tuples if num_tuples is not None else self.num_tuples
+        features = num_features if num_features is not None else self.num_features
+        key = (name.upper(), tuples, features)
+        if key not in self._cache:
+            self._cache[key] = load_benchmark_dataset(
+                name, tuples, features, rng=self.seed
+            )
+        return self._cache[key]
+
+    def names(self) -> Tuple[str, ...]:
+        """Names of all benchmark datasets available from the catalog."""
+        return BENCHMARK_DATASETS

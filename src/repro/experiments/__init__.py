@@ -1,0 +1,31 @@
+"""Experiment harness: one module per figure of the paper's evaluation (§5).
+
+Every module exposes a ``run_*`` function returning plain dataclasses/dicts so
+the results can be printed as the rows/series the paper plots, and a
+``summarise`` helper used both by the benchmark suite and by EXPERIMENTS.md.
+Scale parameters default to laptop-friendly sizes; pass ``paper_scale=True``
+(where available) to use the paper's full sizes.
+"""
+
+from repro.experiments.harness import ExperimentScale, format_table
+from repro.experiments.fig4_sampling_example import run_sampling_example
+from repro.experiments.fig5_constraint_checking import run_constraint_checking_experiment
+from repro.experiments.fig6_overall_time import run_overall_time_experiment
+from repro.experiments.fig7_maintenance import (
+    run_gamma_sweep,
+    run_maintenance_experiment,
+)
+from repro.experiments.fig8_elicitation import run_elicitation_effectiveness
+from repro.experiments.sample_quality import run_sample_quality_study
+
+__all__ = [
+    "ExperimentScale",
+    "format_table",
+    "run_sampling_example",
+    "run_constraint_checking_experiment",
+    "run_overall_time_experiment",
+    "run_maintenance_experiment",
+    "run_gamma_sweep",
+    "run_elicitation_effectiveness",
+    "run_sample_quality_study",
+]

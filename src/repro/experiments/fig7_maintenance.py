@@ -1,0 +1,234 @@
+"""Figure 7: sample-maintenance strategies against new feedback (§3.4).
+
+Figure 7(a): with a pool of previously generated samples, new feedback
+preferences are grouped into buckets by how many pool samples they invalidate;
+the cost of locating the violating samples is compared for the naive scan, the
+pure TA-based search and the hybrid (Algorithm 1).  The expected shape: TA is
+the clear winner when few samples violate the feedback, degrades badly as
+violations grow, and the hybrid tracks the better of the two with a small
+overhead.
+
+Figure 7(b): the hybrid's fall-back parameter γ is swept; the cost ratio
+against the naive scan dips below 1 for small positive γ and degrades back
+toward the pure-TA behaviour as γ grows.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.harness import (
+    ExperimentScale,
+    build_evaluator,
+    random_package_vectors,
+)
+from repro.sampling.gaussian_mixture import GaussianMixture
+from repro.sampling.maintenance import (
+    HybridMaintenance,
+    NaiveMaintenance,
+    ThresholdMaintenance,
+)
+from repro.utils.rng import ensure_rng
+
+#: Bucket labels used in Figure 7(a): the maximum number of violating samples.
+DEFAULT_BUCKETS: Tuple[int, ...] = (0, 1, 5, 20, 50, 200, 1000)
+
+
+@dataclass
+class MaintenanceBucket:
+    """Aggregated maintenance cost for one violation-count bucket.
+
+    Attributes
+    ----------
+    bucket:
+        The bucket label (maximum number of violating samples).
+    count:
+        Number of feedback preferences that fell into the bucket.
+    naive_seconds / ta_seconds / hybrid_seconds:
+        Mean per-preference wall-clock cost of each strategy.
+    naive_accesses / ta_accesses / hybrid_accesses:
+        Mean per-preference number of sample accesses of each strategy.
+    """
+
+    bucket: int
+    count: int = 0
+    naive_seconds: float = 0.0
+    ta_seconds: float = 0.0
+    hybrid_seconds: float = 0.0
+    naive_accesses: float = 0.0
+    ta_accesses: float = 0.0
+    hybrid_accesses: float = 0.0
+
+    def _finalise(self) -> None:
+        if self.count == 0:
+            return
+        for attr in (
+            "naive_seconds", "ta_seconds", "hybrid_seconds",
+            "naive_accesses", "ta_accesses", "hybrid_accesses",
+        ):
+            setattr(self, attr, getattr(self, attr) / self.count)
+
+
+def _bucket_for(num_violations: int, buckets: Sequence[int]) -> int:
+    for label in buckets:
+        if num_violations <= label:
+            return label
+    return buckets[-1]
+
+
+def _generate_workload(
+    num_samples: int,
+    num_preferences: int,
+    num_features: int,
+    num_packages: int,
+    scale: ExperimentScale,
+    seed: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Build the sample pool and the preference directions used for maintenance."""
+    rng = ensure_rng(seed)
+    evaluator = build_evaluator("UNI", scale, num_features=num_features)
+    _, vectors = random_package_vectors(evaluator, num_packages, rng=rng)
+    prior = GaussianMixture.default_prior(num_features, scale.num_gaussians, rng=rng)
+    samples = prior.sample(num_samples, rng=rng)
+    directions = np.zeros((num_preferences, num_features))
+    for i in range(num_preferences):
+        first, second = rng.choice(vectors.shape[0], size=2, replace=False)
+        directions[i] = vectors[first] - vectors[second]
+    return samples, directions
+
+
+def run_maintenance_experiment(
+    num_samples: int = 2_000,
+    num_preferences: int = 300,
+    buckets: Sequence[int] = DEFAULT_BUCKETS,
+    gamma: float = 0.025,
+    num_features: Optional[int] = None,
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+) -> List[MaintenanceBucket]:
+    """Reproduce Figure 7(a): per-bucket maintenance costs of the three strategies.
+
+    The paper uses 10,000 samples and 1,000 preferences; the defaults here are
+    scaled down (pass larger values to match).  Buckets follow the paper's
+    labels and results are averaged within each bucket.
+    """
+    scale = scale if scale is not None else ExperimentScale(seed=seed)
+    features = num_features if num_features is not None else scale.num_features
+    samples, directions = _generate_workload(
+        num_samples, num_preferences, features, scale.num_packages, scale, seed
+    )
+    naive = NaiveMaintenance()
+    ta = ThresholdMaintenance()
+    hybrid = HybridMaintenance(gamma)
+    ta.prepare(samples)
+    hybrid.prepare(samples)
+
+    by_bucket: Dict[int, MaintenanceBucket] = {
+        label: MaintenanceBucket(label) for label in buckets
+    }
+    for i in range(directions.shape[0]):
+        direction = directions[i]
+        start = time.perf_counter()
+        naive_result = naive.find_violations(samples, direction)
+        naive_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        ta_result = ta.find_violations(samples, direction)
+        ta_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        hybrid_result = hybrid.find_violations(samples, direction)
+        hybrid_seconds = time.perf_counter() - start
+
+        if not np.array_equal(
+            naive_result.violating_indices, ta_result.violating_indices
+        ) or not np.array_equal(
+            naive_result.violating_indices, hybrid_result.violating_indices
+        ):
+            raise AssertionError(
+                "maintenance strategies disagree on the violating samples; bug"
+            )
+
+        bucket = by_bucket[_bucket_for(naive_result.num_violations, buckets)]
+        bucket.count += 1
+        bucket.naive_seconds += naive_seconds
+        bucket.ta_seconds += ta_seconds
+        bucket.hybrid_seconds += hybrid_seconds
+        bucket.naive_accesses += naive_result.accesses
+        bucket.ta_accesses += ta_result.accesses
+        bucket.hybrid_accesses += hybrid_result.accesses
+
+    results = []
+    for label in buckets:
+        bucket = by_bucket[label]
+        bucket._finalise()
+        results.append(bucket)
+    return results
+
+
+@dataclass
+class GammaSweepPoint:
+    """One γ value of Figure 7(b): cost ratios of TA and hybrid vs the naive scan."""
+
+    gamma: float
+    ta_cost_ratio: float
+    hybrid_cost_ratio: float
+
+
+def run_gamma_sweep(
+    gammas: Sequence[float] = (0.0, 0.025, 0.05, 0.075, 0.1),
+    num_samples: int = 2_000,
+    num_preferences: int = 200,
+    num_features: Optional[int] = None,
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+) -> List[GammaSweepPoint]:
+    """Reproduce Figure 7(b): hybrid/naive and TA/naive cost ratios as γ varies."""
+    scale = scale if scale is not None else ExperimentScale(seed=seed)
+    features = num_features if num_features is not None else scale.num_features
+    samples, directions = _generate_workload(
+        num_samples, num_preferences, features, scale.num_packages, scale, seed
+    )
+    naive = NaiveMaintenance()
+    ta = ThresholdMaintenance()
+    ta.prepare(samples)
+
+    naive_total = 0.0
+    ta_total = 0.0
+    for i in range(directions.shape[0]):
+        start = time.perf_counter()
+        naive.find_violations(samples, directions[i])
+        naive_total += time.perf_counter() - start
+        start = time.perf_counter()
+        ta.find_violations(samples, directions[i])
+        ta_total += time.perf_counter() - start
+
+    points: List[GammaSweepPoint] = []
+    for gamma in gammas:
+        hybrid = HybridMaintenance(gamma)
+        hybrid.prepare(samples)
+        hybrid_total = 0.0
+        for i in range(directions.shape[0]):
+            start = time.perf_counter()
+            hybrid.find_violations(samples, directions[i])
+            hybrid_total += time.perf_counter() - start
+        points.append(
+            GammaSweepPoint(
+                gamma=gamma,
+                ta_cost_ratio=ta_total / naive_total if naive_total else float("inf"),
+                hybrid_cost_ratio=hybrid_total / naive_total if naive_total else float("inf"),
+            )
+        )
+    return points
+
+
+def summarise(buckets: List[MaintenanceBucket]) -> List[List]:
+    """Rows (bucket, count, naive s, TA s, hybrid s) for display."""
+    return [
+        [b.bucket, b.count, b.naive_seconds, b.ta_seconds, b.hybrid_seconds]
+        for b in buckets
+    ]

@@ -1,0 +1,12 @@
+"""Spatial index substrates over weight space.
+
+The importance sampler (§3.2.1) approximates the centre of the valid-weight
+polytope with a regular grid decomposition of the weight hypercube, and the
+constraint-checking optimisation (§3.3) organises cells hierarchically in a
+quad-tree so cells violating a new preference can be pruned in bulk.
+"""
+
+from repro.index.grid import GridCell, WeightSpaceGrid
+from repro.index.quadtree import QuadTree, QuadTreeNode
+
+__all__ = ["GridCell", "WeightSpaceGrid", "QuadTree", "QuadTreeNode"]

@@ -1,0 +1,201 @@
+"""Regular grid decomposition of the weight hypercube ``[-1, 1]^m``.
+
+Used by the importance sampler (§3.2.1) to approximate the centre of the
+convex region of weight vectors that satisfy the current feedback set.  Each
+preference ``p1 ≻ p2`` defines the half-space ``w · (p1 - p2) ≥ 0``; a grid
+cell is kept only if *some* point of the cell can satisfy every half-space.
+That feasibility test is linear in the number of features: the best case for
+a half-space over an axis-aligned box is attained at the corner that picks,
+per coordinate, whichever bound maximises the inner product.
+
+The grid is deliberately exponential in the number of features (``cells_per_dim
+** num_features``) — exactly the limitation the paper reports for importance
+sampling in Figure 6(f–j) — so :class:`WeightSpaceGrid` enforces a hard cap on
+the number of cells and raises :class:`GridTooLargeError` beyond it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import require_vector
+
+
+class GridTooLargeError(RuntimeError):
+    """Raised when the requested grid would exceed the configured cell cap."""
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """An axis-aligned cell of the weight-space grid.
+
+    Attributes
+    ----------
+    lower, upper:
+        Per-dimension lower/upper bounds of the cell (inclusive box).
+    """
+
+    lower: Tuple[float, ...]
+    upper: Tuple[float, ...]
+
+    @property
+    def center(self) -> np.ndarray:
+        """Geometric centre of the cell."""
+        return (np.asarray(self.lower) + np.asarray(self.upper)) / 2.0
+
+    @property
+    def dimension(self) -> int:
+        """Number of dimensions of the cell."""
+        return len(self.lower)
+
+    def max_dot(self, direction: np.ndarray) -> float:
+        """Maximum of ``w · direction`` over all ``w`` in the cell.
+
+        Attained by picking, per coordinate, the upper bound when the
+        direction component is positive and the lower bound otherwise.
+        """
+        lower = np.asarray(self.lower)
+        upper = np.asarray(self.upper)
+        best = np.where(direction >= 0, upper, lower)
+        return float(best @ direction)
+
+    def min_dot(self, direction: np.ndarray) -> float:
+        """Minimum of ``w · direction`` over all ``w`` in the cell."""
+        return -self.max_dot(-np.asarray(direction, dtype=float))
+
+    def can_satisfy(self, direction: np.ndarray) -> bool:
+        """Whether some point of the cell satisfies ``w · direction >= 0``."""
+        return self.max_dot(direction) >= 0.0
+
+    def contains(self, point: np.ndarray) -> bool:
+        """Whether ``point`` lies inside the (closed) cell."""
+        point = np.asarray(point, dtype=float)
+        return bool(
+            np.all(point >= np.asarray(self.lower))
+            and np.all(point <= np.asarray(self.upper))
+        )
+
+    def split(self) -> List["GridCell"]:
+        """Split the cell into 2^d children of equal size (quad-tree style)."""
+        mids = self.center
+        children = []
+        for corner in itertools.product(*[(0, 1)] * self.dimension):
+            lower = tuple(
+                self.lower[i] if corner[i] == 0 else float(mids[i])
+                for i in range(self.dimension)
+            )
+            upper = tuple(
+                float(mids[i]) if corner[i] == 0 else self.upper[i]
+                for i in range(self.dimension)
+            )
+            children.append(GridCell(lower, upper))
+        return children
+
+
+class WeightSpaceGrid:
+    """A regular ``cells_per_dim^m`` grid over the weight hypercube.
+
+    Parameters
+    ----------
+    num_features:
+        Dimensionality of weight space.
+    cells_per_dim:
+        Number of equal-width cells per dimension (the paper's example uses a
+        3×3 grid in two dimensions).
+    bounds:
+        Per-dimension (low, high) bounds; defaults to ``(-1, 1)`` everywhere,
+        matching the paper's weight range.
+    max_cells:
+        Hard cap on the total number of cells; exceeding it raises
+        :class:`GridTooLargeError`.  This mirrors the paper's observation that
+        the grid approach is intractable beyond ~5 features.
+    """
+
+    def __init__(
+        self,
+        num_features: int,
+        cells_per_dim: int = 3,
+        bounds: Optional[Sequence[Tuple[float, float]]] = None,
+        max_cells: int = 250_000,
+    ) -> None:
+        if num_features <= 0:
+            raise ValueError(f"num_features must be > 0, got {num_features}")
+        if cells_per_dim <= 0:
+            raise ValueError(f"cells_per_dim must be > 0, got {cells_per_dim}")
+        total = cells_per_dim**num_features
+        if total > max_cells:
+            raise GridTooLargeError(
+                f"grid with {cells_per_dim}^{num_features} = {total} cells exceeds "
+                f"the cap of {max_cells}; the grid-based centre approximation is "
+                f"exponential in dimensionality (see paper Fig. 6f-j)"
+            )
+        self.num_features = num_features
+        self.cells_per_dim = cells_per_dim
+        if bounds is None:
+            bounds = [(-1.0, 1.0)] * num_features
+        if len(bounds) != num_features:
+            raise ValueError(
+                f"bounds must have one (low, high) pair per feature "
+                f"({num_features}), got {len(bounds)}"
+            )
+        self.bounds = [(float(lo), float(hi)) for lo, hi in bounds]
+        for lo, hi in self.bounds:
+            if hi <= lo:
+                raise ValueError(f"invalid bounds pair ({lo}, {hi})")
+        self._cells: List[GridCell] = list(self._build_cells())
+        #: Cells still considered feasible w.r.t. the constraints seen so far.
+        self.active_cells: List[GridCell] = list(self._cells)
+
+    def _build_cells(self) -> Iterator[GridCell]:
+        edges = []
+        for lo, hi in self.bounds:
+            edges.append(np.linspace(lo, hi, self.cells_per_dim + 1))
+        for index in itertools.product(range(self.cells_per_dim), repeat=self.num_features):
+            lower = tuple(float(edges[d][i]) for d, i in enumerate(index))
+            upper = tuple(float(edges[d][i + 1]) for d, i in enumerate(index))
+            yield GridCell(lower, upper)
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    @property
+    def cells(self) -> List[GridCell]:
+        """All cells of the grid (feasible or not)."""
+        return list(self._cells)
+
+    def prune(self, direction: np.ndarray) -> int:
+        """Drop active cells with no point satisfying ``w · direction >= 0``.
+
+        ``direction`` is ``p1 - p2`` for a preference ``p1 ≻ p2``.  Returns the
+        number of cells removed.
+        """
+        direction = require_vector(direction, "direction", length=self.num_features)
+        before = len(self.active_cells)
+        self.active_cells = [c for c in self.active_cells if c.can_satisfy(direction)]
+        return before - len(self.active_cells)
+
+    def prune_all(self, directions: Iterable[np.ndarray]) -> int:
+        """Apply :meth:`prune` for every direction; return total cells removed."""
+        removed = 0
+        for direction in directions:
+            removed += self.prune(direction)
+        return removed
+
+    def approximate_center(self) -> np.ndarray:
+        """Approximate centre of the feasible region: mean of active cell centres.
+
+        Falls back to the centre of the full hypercube when every cell has been
+        pruned (which can only happen with inconsistent feedback).
+        """
+        if not self.active_cells:
+            return np.array([(lo + hi) / 2.0 for lo, hi in self.bounds])
+        centers = np.stack([cell.center for cell in self.active_cells])
+        return centers.mean(axis=0)
+
+    def feasible_fraction(self) -> float:
+        """Fraction of cells still active (1.0 before any pruning)."""
+        return len(self.active_cells) / len(self._cells)

@@ -1,0 +1,164 @@
+"""Hierarchical (quad-tree style) decomposition of weight space.
+
+Section 3.3 of the paper notes that finding grid cells violating new feedback
+"can be facilitated by organizing the cells into a hierarchical structure such
+as a quad-tree" (citing Finkel & Bentley).  This module provides that
+substrate: a 2^d-ary tree over the weight hypercube where an internal node
+whose whole box violates a preference half-space prunes all of its descendant
+cells at once.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+import numpy as np
+
+from repro.index.grid import GridCell
+from repro.utils.validation import require_vector
+
+
+class QuadTreeNode:
+    """A node of the hierarchical weight-space decomposition.
+
+    Each node covers an axis-aligned box (a :class:`GridCell`).  Leaf nodes are
+    the unit of pruning; internal nodes exist to prune whole subtrees when the
+    entire box lies outside a preference half-space.
+    """
+
+    __slots__ = ("cell", "children", "active")
+
+    def __init__(self, cell: GridCell) -> None:
+        self.cell = cell
+        self.children: List["QuadTreeNode"] = []
+        self.active = True
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether the node has no children."""
+        return not self.children
+
+    def subdivide(self) -> None:
+        """Split the node's box into 2^d equal children (idempotent)."""
+        if self.children:
+            return
+        self.children = [QuadTreeNode(child) for child in self.cell.split()]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        status = "active" if self.active else "pruned"
+        return f"QuadTreeNode({self.cell.lower}..{self.cell.upper}, {status})"
+
+
+class QuadTree:
+    """A depth-bounded 2^d-tree over the weight hypercube ``[-1, 1]^m``.
+
+    Parameters
+    ----------
+    num_features:
+        Dimensionality of weight space.
+    depth:
+        Number of subdivision levels; leaves form a ``2^depth`` per-dimension
+        grid.
+    bounds:
+        Optional per-dimension (low, high) bounds, default ``(-1, 1)``.
+    max_leaves:
+        Safety cap on ``(2^depth)^num_features``.
+    """
+
+    def __init__(
+        self,
+        num_features: int,
+        depth: int = 2,
+        bounds: Optional[List[tuple]] = None,
+        max_leaves: int = 250_000,
+    ) -> None:
+        if num_features <= 0:
+            raise ValueError(f"num_features must be > 0, got {num_features}")
+        if depth < 0:
+            raise ValueError(f"depth must be >= 0, got {depth}")
+        leaves = (2**depth) ** num_features
+        if leaves > max_leaves:
+            raise ValueError(
+                f"quad-tree with {leaves} leaves exceeds the cap of {max_leaves}"
+            )
+        if bounds is None:
+            bounds = [(-1.0, 1.0)] * num_features
+        lower = tuple(float(lo) for lo, _ in bounds)
+        upper = tuple(float(hi) for _, hi in bounds)
+        self.num_features = num_features
+        self.depth = depth
+        self.root = QuadTreeNode(GridCell(lower, upper))
+        self._grow(self.root, depth)
+
+    def _grow(self, node: QuadTreeNode, remaining: int) -> None:
+        if remaining == 0:
+            return
+        node.subdivide()
+        for child in node.children:
+            self._grow(child, remaining - 1)
+
+    def leaves(self, active_only: bool = True) -> List[QuadTreeNode]:
+        """All leaf nodes, optionally only those not pruned yet."""
+        return [
+            node
+            for node in self._iter_nodes(self.root)
+            if node.is_leaf and (node.active or not active_only)
+        ]
+
+    def _iter_nodes(self, node: QuadTreeNode) -> Iterator[QuadTreeNode]:
+        yield node
+        for child in node.children:
+            yield from self._iter_nodes(child)
+
+    def prune(self, direction: np.ndarray) -> int:
+        """Prune every leaf whose box cannot satisfy ``w · direction >= 0``.
+
+        Uses the hierarchy: if an internal node's whole box violates the
+        half-space, its entire subtree is deactivated without visiting the
+        leaves individually.  Returns the number of *leaves* newly pruned.
+        """
+        direction = require_vector(direction, "direction", length=self.num_features)
+        return self._prune_node(self.root, direction)
+
+    def _prune_node(self, node: QuadTreeNode, direction: np.ndarray) -> int:
+        if not node.active:
+            return 0
+        if not node.cell.can_satisfy(direction):
+            pruned = self._deactivate(node)
+            return pruned
+        if node.is_leaf:
+            return 0
+        return sum(self._prune_node(child, direction) for child in node.children)
+
+    def _deactivate(self, node: QuadTreeNode) -> int:
+        """Deactivate ``node`` and its subtree; return number of leaves affected."""
+        count = 0
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if not current.active:
+                continue
+            current.active = False
+            if current.is_leaf:
+                count += 1
+            stack.extend(current.children)
+        return count
+
+    def prune_all(self, directions: Iterable[np.ndarray]) -> int:
+        """Apply :meth:`prune` for each direction; return total leaves pruned."""
+        return sum(self.prune(direction) for direction in directions)
+
+    def approximate_center(self) -> np.ndarray:
+        """Mean centre of the still-active leaves (hypercube centre if none)."""
+        active = self.leaves(active_only=True)
+        if not active:
+            return self.root.cell.center
+        centers = np.stack([leaf.cell.center for leaf in active])
+        return centers.mean(axis=0)
+
+    def active_fraction(self) -> float:
+        """Fraction of leaves still active."""
+        total = self.leaves(active_only=False)
+        if not total:
+            return 0.0
+        return len(self.leaves(active_only=True)) / len(total)

@@ -1,0 +1,48 @@
+"""Constrained sampling over the weight-vector distribution ``Pw`` (§3).
+
+The posterior over weight vectors given click feedback has no closed form, so
+the system keeps the Gaussian-mixture prior plus the feedback constraints and
+draws *constrained samples* instead.  Three samplers are provided, mirroring
+the paper: rejection sampling (§3.1), importance sampling with a grid-based
+approximate polytope centre (§3.2.1), and Metropolis–Hastings MCMC (§3.2.2).
+Sample pools can be maintained incrementally against new feedback (§3.4).
+"""
+
+from repro.sampling.gaussian_mixture import GaussianMixture
+from repro.sampling.base import ConstraintSet, SamplePool, Sampler
+from repro.sampling.rejection import RejectionSampler
+from repro.sampling.importance import ImportanceSampler, ImportanceSamplingIntractableError
+from repro.sampling.mcmc import MetropolisHastingsSampler
+from repro.sampling.ens import (
+    effective_number_of_samples,
+    ens_from_weights,
+    chi_square_distance,
+)
+from repro.sampling.constraints import ConstraintChecker
+from repro.sampling.maintenance import (
+    HybridMaintenance,
+    MaintenanceResult,
+    NaiveMaintenance,
+    SampleMaintainer,
+    ThresholdMaintenance,
+)
+
+__all__ = [
+    "GaussianMixture",
+    "ConstraintSet",
+    "SamplePool",
+    "Sampler",
+    "RejectionSampler",
+    "ImportanceSampler",
+    "ImportanceSamplingIntractableError",
+    "MetropolisHastingsSampler",
+    "effective_number_of_samples",
+    "ens_from_weights",
+    "chi_square_distance",
+    "ConstraintChecker",
+    "SampleMaintainer",
+    "NaiveMaintenance",
+    "ThresholdMaintenance",
+    "HybridMaintenance",
+    "MaintenanceResult",
+]

@@ -1,0 +1,303 @@
+"""Shared abstractions for constrained weight-vector sampling.
+
+* :class:`ConstraintSet` — the half-space constraints induced by feedback
+  (``w`` valid iff ``w · d >= 0`` for every direction ``d``), with optional
+  noise-aware soft rejection (§7).
+* :class:`SamplePool` — a weighted pool of accepted weight vectors, the output
+  of every sampler and the input to the ranking-semantics aggregation (§4).
+* :class:`Sampler` — the abstract base class all three samplers implement.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.core.preferences import Preference, PreferenceStore
+from repro.sampling.gaussian_mixture import GaussianMixture
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import require_matrix, require_vector
+
+
+class ConstraintSet:
+    """Half-space constraints on weight vectors derived from feedback.
+
+    A weight vector ``w`` is *valid* when ``w · d >= 0`` for every stored
+    direction ``d`` (where ``d = p_preferred - p_other``).
+
+    Parameters
+    ----------
+    directions:
+        ``(c, m)`` matrix of half-space normals (may be empty).
+    num_features:
+        Required when ``directions`` is empty, to fix the dimensionality.
+    """
+
+    def __init__(
+        self,
+        directions: Optional[np.ndarray] = None,
+        num_features: Optional[int] = None,
+    ) -> None:
+        if directions is None or np.size(directions) == 0:
+            if num_features is None:
+                raise ValueError(
+                    "num_features is required when no directions are given"
+                )
+            self._directions = np.zeros((0, int(num_features)))
+        else:
+            self._directions = require_matrix(directions, "directions")
+        self.num_features = self._directions.shape[1]
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def from_preferences(
+        cls, preferences: Iterable[Preference], num_features: Optional[int] = None
+    ) -> "ConstraintSet":
+        """Build a constraint set from preference objects."""
+        directions = [p.direction for p in preferences]
+        if not directions:
+            return cls(None, num_features=num_features)
+        return cls(np.stack(directions))
+
+    @classmethod
+    def from_store(cls, store: PreferenceStore, reduced: bool = True) -> "ConstraintSet":
+        """Build a constraint set from a :class:`PreferenceStore`.
+
+        ``reduced=True`` applies the transitive-reduction optimisation of §3.3
+        so redundant constraints are not checked during sampling.
+        """
+        return cls(store.directions(reduced=reduced), num_features=store.num_features)
+
+    @classmethod
+    def empty(cls, num_features: int) -> "ConstraintSet":
+        """A constraint set with no constraints (every weight vector is valid)."""
+        return cls(None, num_features=num_features)
+
+    # ------------------------------------------------------------------ basics
+    @property
+    def directions(self) -> np.ndarray:
+        """The ``(c, m)`` matrix of half-space normals."""
+        return self._directions
+
+    def __len__(self) -> int:
+        return self._directions.shape[0]
+
+    def is_empty(self) -> bool:
+        """Whether there are no constraints."""
+        return len(self) == 0
+
+    # ---------------------------------------------------------------- checking
+    def is_valid(self, weights: np.ndarray) -> bool:
+        """Whether a single weight vector satisfies every constraint."""
+        if self.is_empty():
+            return True
+        weights = require_vector(weights, "weights", length=self.num_features)
+        return bool(np.all(self._directions @ weights >= 0.0))
+
+    def violations(self, weights: np.ndarray) -> int:
+        """Number of constraints violated by a single weight vector."""
+        if self.is_empty():
+            return 0
+        weights = require_vector(weights, "weights", length=self.num_features)
+        return int(np.sum(self._directions @ weights < 0.0))
+
+    def valid_mask(self, samples: np.ndarray) -> np.ndarray:
+        """Boolean mask over rows of ``samples`` marking fully-valid vectors."""
+        samples = require_matrix(samples, "samples", columns=self.num_features)
+        if self.is_empty():
+            return np.ones(samples.shape[0], dtype=bool)
+        return np.all(samples @ self._directions.T >= 0.0, axis=1)
+
+    def violation_counts(self, samples: np.ndarray) -> np.ndarray:
+        """Per-row count of violated constraints for a stack of samples."""
+        samples = require_matrix(samples, "samples", columns=self.num_features)
+        if self.is_empty():
+            return np.zeros(samples.shape[0], dtype=int)
+        return np.sum(samples @ self._directions.T < 0.0, axis=1).astype(int)
+
+    # --------------------------------------------------------------- extension
+    def extended(self, new_directions: np.ndarray) -> "ConstraintSet":
+        """A new constraint set with additional directions appended."""
+        new_directions = np.atleast_2d(np.asarray(new_directions, dtype=float))
+        if new_directions.shape[1] != self.num_features:
+            raise ValueError(
+                f"new directions have {new_directions.shape[1]} features, "
+                f"expected {self.num_features}"
+            )
+        return ConstraintSet(np.vstack([self._directions, new_directions]))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"ConstraintSet(num_constraints={len(self)}, "
+            f"num_features={self.num_features})"
+        )
+
+
+@dataclass
+class SamplePool:
+    """A weighted pool of accepted weight-vector samples.
+
+    Attributes
+    ----------
+    samples:
+        ``(N, m)`` matrix of weight vectors, all valid w.r.t. the constraints
+        in force when they were generated.
+    weights:
+        ``(N,)`` importance weights (all ones for rejection and MCMC sampling).
+    stats:
+        Free-form sampler statistics (attempts, acceptance rate, timings, ...).
+    """
+
+    samples: np.ndarray
+    weights: np.ndarray
+    stats: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.samples = np.atleast_2d(np.asarray(self.samples, dtype=float))
+        if self.samples.size == 0:
+            self.samples = self.samples.reshape(0, self.samples.shape[-1] if self.samples.ndim > 1 else 0)
+        self.weights = np.asarray(self.weights, dtype=float).ravel()
+        if self.weights.shape[0] != self.samples.shape[0]:
+            raise ValueError(
+                f"weights length {self.weights.shape[0]} does not match "
+                f"{self.samples.shape[0]} samples"
+            )
+        if (self.weights < 0).any():
+            raise ValueError("importance weights must be non-negative")
+
+    # ------------------------------------------------------------------ basics
+    @property
+    def size(self) -> int:
+        """Number of samples in the pool."""
+        return self.samples.shape[0]
+
+    @property
+    def num_features(self) -> int:
+        """Dimensionality of the samples."""
+        return self.samples.shape[1] if self.samples.ndim == 2 else 0
+
+    def __len__(self) -> int:
+        return self.size
+
+    @classmethod
+    def empty(cls, num_features: int) -> "SamplePool":
+        """An empty pool of the given dimensionality."""
+        return cls(np.zeros((0, num_features)), np.zeros(0))
+
+    @classmethod
+    def unweighted(cls, samples: np.ndarray, stats: Optional[dict] = None) -> "SamplePool":
+        """A pool where every sample carries weight 1."""
+        samples = np.atleast_2d(np.asarray(samples, dtype=float))
+        return cls(samples, np.ones(samples.shape[0]), stats or {})
+
+    # -------------------------------------------------------------- operations
+    def normalised_weights(self) -> np.ndarray:
+        """Importance weights normalised to sum to 1 (uniform if all zero)."""
+        total = self.weights.sum()
+        if total <= 0:
+            if self.size == 0:
+                return self.weights
+            return np.full(self.size, 1.0 / self.size)
+        return self.weights / total
+
+    def subset(self, mask_or_indices) -> "SamplePool":
+        """A new pool restricted to the given boolean mask or index array."""
+        return SamplePool(
+            self.samples[mask_or_indices],
+            self.weights[mask_or_indices],
+            dict(self.stats),
+        )
+
+    def concatenate(self, other: "SamplePool") -> "SamplePool":
+        """A new pool containing the samples of both pools."""
+        if other.size == 0:
+            return SamplePool(self.samples.copy(), self.weights.copy(), dict(self.stats))
+        if self.size == 0:
+            return SamplePool(other.samples.copy(), other.weights.copy(), dict(other.stats))
+        return SamplePool(
+            np.vstack([self.samples, other.samples]),
+            np.concatenate([self.weights, other.weights]),
+            dict(self.stats),
+        )
+
+    def mean_weight_vector(self) -> np.ndarray:
+        """Importance-weighted mean of the pooled weight vectors."""
+        if self.size == 0:
+            raise ValueError("cannot take the mean of an empty sample pool")
+        return np.average(self.samples, axis=0, weights=self.normalised_weights())
+
+    def effective_sample_size(self) -> float:
+        """Kish effective sample size ``(Σq)² / Σq²`` of the pool."""
+        if self.size == 0:
+            return 0.0
+        total = self.weights.sum()
+        if total <= 0:
+            return float(self.size)
+        return float(total**2 / np.square(self.weights).sum())
+
+
+class Sampler(abc.ABC):
+    """Abstract base class for constrained weight-vector samplers.
+
+    Parameters
+    ----------
+    prior:
+        The Gaussian-mixture prior ``Pw`` over weight vectors.
+    rng:
+        Seed or generator used for all randomness in the sampler.
+    noise_probability:
+        Optional feedback-noise parameter ψ from §7: the probability that any
+        single feedback preference is correct.  ``None`` (default) assumes
+        noise-free feedback, i.e. hard constraints.
+    """
+
+    #: Human-readable name used in experiment reports ("RS", "IS", "MS").
+    short_name: str = "base"
+
+    def __init__(
+        self,
+        prior: GaussianMixture,
+        rng: RngLike = None,
+        noise_probability: Optional[float] = None,
+    ) -> None:
+        self.prior = prior
+        self.rng = ensure_rng(rng)
+        if noise_probability is not None and not 0.0 <= noise_probability <= 1.0:
+            raise ValueError(
+                f"noise_probability must be in [0, 1], got {noise_probability}"
+            )
+        self.noise_probability = noise_probability
+
+    @property
+    def num_features(self) -> int:
+        """Dimensionality of the weight space."""
+        return self.prior.dimension
+
+    @abc.abstractmethod
+    def sample(self, count: int, constraints: ConstraintSet) -> SamplePool:
+        """Draw ``count`` valid weight vectors under ``constraints``."""
+
+    # ------------------------------------------------------------ noise model
+    def _rejects_under_noise(self, num_violations: int) -> bool:
+        """Whether a sample violating ``num_violations`` constraints is rejected.
+
+        With the §7 noise model each feedback is independently correct with
+        probability ψ; a sample is rejected with the probability that at least
+        one of the constraints it violates is correct, ``1 - (1 - ψ)^x``.
+        Without a noise model any violation causes rejection.
+        """
+        if num_violations <= 0:
+            return False
+        if self.noise_probability is None:
+            return True
+        reject_probability = 1.0 - (1.0 - self.noise_probability) ** num_violations
+        return bool(self.rng.random() < reject_probability)
+
+    def _accepts(self, weights: np.ndarray, constraints: ConstraintSet) -> bool:
+        """Constraint/noise-aware acceptance test for a candidate sample."""
+        if self.noise_probability is None:
+            return constraints.is_valid(weights)
+        return not self._rejects_under_noise(constraints.violations(weights))

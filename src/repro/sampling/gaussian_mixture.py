@@ -1,0 +1,197 @@
+"""Gaussian mixture model over weight vectors (the prior ``Pw``).
+
+The paper assumes the prior over the utility weight vector is a mixture of
+Gaussians, since a mixture can approximate any density (§2.1, citing Bishop).
+This module is a small, self-contained mixture implementation (density,
+log-density, sampling, component responsibilities) — the substrate the
+samplers in this package build on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+from scipy.stats import multivariate_normal
+
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import require_matrix, require_vector
+
+
+class GaussianMixture:
+    """A mixture of multivariate Gaussians over ``R^m``.
+
+    Parameters
+    ----------
+    means:
+        ``(K, m)`` matrix of component means.
+    covariances:
+        ``(K, m, m)`` array of component covariance matrices, or ``(K, m)``
+        diagonal entries, or a scalar used as isotropic variance for all
+        components.
+    weights:
+        ``(K,)`` mixture weights; default uniform.  Normalised automatically.
+    """
+
+    def __init__(
+        self,
+        means: np.ndarray,
+        covariances,
+        weights: Optional[np.ndarray] = None,
+    ) -> None:
+        means = require_matrix(means, "means")
+        self.means = means
+        num_components, dimension = means.shape
+        self.covariances = self._normalise_covariances(covariances, num_components, dimension)
+        if weights is None:
+            weights = np.full(num_components, 1.0 / num_components)
+        weights = require_vector(weights, "weights", length=num_components)
+        if (weights < 0).any():
+            raise ValueError("mixture weights must be non-negative")
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("mixture weights must not all be zero")
+        self.weights = weights / total
+        self._components = [
+            multivariate_normal(mean=self.means[k], cov=self.covariances[k], allow_singular=False)
+            for k in range(num_components)
+        ]
+
+    @staticmethod
+    def _normalise_covariances(covariances, num_components: int, dimension: int) -> np.ndarray:
+        if np.isscalar(covariances):
+            value = float(covariances)
+            if value <= 0:
+                raise ValueError(f"isotropic variance must be > 0, got {value}")
+            return np.stack([np.eye(dimension) * value for _ in range(num_components)])
+        array = np.asarray(covariances, dtype=float)
+        if array.ndim == 2 and array.shape == (num_components, dimension):
+            if (array <= 0).any():
+                raise ValueError("diagonal variances must be > 0")
+            return np.stack([np.diag(array[k]) for k in range(num_components)])
+        if array.ndim == 3 and array.shape == (num_components, dimension, dimension):
+            return array
+        raise ValueError(
+            f"covariances must be a scalar, a ({num_components}, {dimension}) diagonal "
+            f"array, or a ({num_components}, {dimension}, {dimension}) array; "
+            f"got shape {np.shape(covariances)}"
+        )
+
+    # ------------------------------------------------------------------ basics
+    @property
+    def num_components(self) -> int:
+        """Number of mixture components ``K``."""
+        return self.means.shape[0]
+
+    @property
+    def dimension(self) -> int:
+        """Dimensionality ``m`` of the weight space."""
+        return self.means.shape[1]
+
+    # ----------------------------------------------------------------- density
+    def pdf(self, points: np.ndarray) -> np.ndarray:
+        """Mixture density at one point (scalar) or a stack of points (vector)."""
+        points = np.asarray(points, dtype=float)
+        single = points.ndim == 1
+        matrix = points[None, :] if single else points
+        density = np.zeros(matrix.shape[0])
+        for weight, component in zip(self.weights, self._components):
+            density += weight * component.pdf(matrix)
+        density = np.atleast_1d(density)
+        return float(density[0]) if single else density
+
+    def logpdf(self, points: np.ndarray) -> np.ndarray:
+        """Log of the mixture density (numerically via log-sum-exp)."""
+        points = np.asarray(points, dtype=float)
+        single = points.ndim == 1
+        matrix = points[None, :] if single else points
+        log_terms = np.stack(
+            [
+                np.log(weight) + np.atleast_1d(component.logpdf(matrix))
+                for weight, component in zip(self.weights, self._components)
+                if weight > 0
+            ]
+        )
+        max_term = log_terms.max(axis=0)
+        log_density = max_term + np.log(np.exp(log_terms - max_term).sum(axis=0))
+        return float(log_density[0]) if single else log_density
+
+    def responsibilities(self, points: np.ndarray) -> np.ndarray:
+        """Posterior component probabilities for each point (``(n, K)``)."""
+        matrix = require_matrix(points, "points", columns=self.dimension)
+        terms = np.stack(
+            [
+                weight * np.atleast_1d(component.pdf(matrix))
+                for weight, component in zip(self.weights, self._components)
+            ],
+            axis=1,
+        )
+        totals = terms.sum(axis=1, keepdims=True)
+        totals[totals == 0] = 1.0
+        return terms / totals
+
+    # ---------------------------------------------------------------- sampling
+    def sample(self, count: int, rng: RngLike = None) -> np.ndarray:
+        """Draw ``count`` points from the mixture."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        generator = ensure_rng(rng)
+        if count == 0:
+            return np.zeros((0, self.dimension))
+        assignments = generator.choice(self.num_components, size=count, p=self.weights)
+        samples = np.zeros((count, self.dimension))
+        for k in range(self.num_components):
+            mask = assignments == k
+            how_many = int(mask.sum())
+            if how_many == 0:
+                continue
+            samples[mask] = generator.multivariate_normal(
+                self.means[k], self.covariances[k], size=how_many
+            )
+        return samples
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def default_prior(
+        cls,
+        num_features: int,
+        num_components: int = 1,
+        spread: float = 0.5,
+        rng: RngLike = None,
+    ) -> "GaussianMixture":
+        """The system-default prior over weight vectors.
+
+        A single-component prior is centred at the origin of ``[-1, 1]^m``
+        (no initial bias toward any feature); multi-component priors place the
+        extra components at random offsets, modelling a population of user
+        "types" as in the paper's experiments that vary the number of
+        Gaussians (Figure 5c).
+        """
+        if num_features <= 0:
+            raise ValueError(f"num_features must be > 0, got {num_features}")
+        if num_components <= 0:
+            raise ValueError(f"num_components must be > 0, got {num_components}")
+        if spread <= 0:
+            raise ValueError(f"spread must be > 0, got {spread}")
+        generator = ensure_rng(rng)
+        means = np.zeros((num_components, num_features))
+        if num_components > 1:
+            means[1:] = generator.uniform(-0.5, 0.5, size=(num_components - 1, num_features))
+        covariances = np.stack(
+            [np.eye(num_features) * spread**2 for _ in range(num_components)]
+        )
+        return cls(means, covariances)
+
+    @classmethod
+    def isotropic(
+        cls, mean: np.ndarray, variance: float
+    ) -> "GaussianMixture":
+        """A single isotropic Gaussian as a (degenerate) mixture."""
+        mean = require_vector(mean, "mean")
+        return cls(mean[None, :], variance)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"GaussianMixture(num_components={self.num_components}, "
+            f"dimension={self.dimension})"
+        )

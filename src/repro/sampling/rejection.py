@@ -1,0 +1,107 @@
+"""Rejection sampling from the constrained posterior (§3.1).
+
+Lemma 1 of the paper shows that conditioning ``Pw`` on feedback only zeroes
+out the density of invalid weight vectors and preserves the relative density
+of valid ones.  Rejection sampling therefore samples directly from the prior
+and discards any draw that violates a feedback constraint.  It is simple and
+unbiased but wasteful once the feedback set shrinks the valid region — the
+behaviour the feedback-aware samplers (importance, MCMC) improve on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.sampling.base import ConstraintSet, SamplePool, Sampler
+from repro.sampling.gaussian_mixture import GaussianMixture
+from repro.utils.rng import RngLike
+
+
+class RejectionSamplingError(RuntimeError):
+    """Raised when the acceptance rate is too low to fill the requested pool."""
+
+
+class RejectionSampler(Sampler):
+    """Sample from the prior and reject draws violating any feedback constraint.
+
+    Parameters
+    ----------
+    prior, rng, noise_probability:
+        See :class:`~repro.sampling.base.Sampler`.
+    batch_size:
+        Number of prior draws generated per vectorised batch.
+    max_attempts:
+        Upper bound on the total number of prior draws before giving up; a
+        safety valve for near-empty valid regions.
+    """
+
+    short_name = "RS"
+
+    def __init__(
+        self,
+        prior: GaussianMixture,
+        rng: RngLike = None,
+        noise_probability: Optional[float] = None,
+        batch_size: int = 1024,
+        max_attempts: int = 2_000_000,
+    ) -> None:
+        super().__init__(prior, rng, noise_probability)
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be > 0, got {batch_size}")
+        if max_attempts <= 0:
+            raise ValueError(f"max_attempts must be > 0, got {max_attempts}")
+        self.batch_size = batch_size
+        self.max_attempts = max_attempts
+
+    def sample(self, count: int, constraints: ConstraintSet) -> SamplePool:
+        """Draw ``count`` valid samples; raises if the region is too small.
+
+        The returned pool's ``stats`` include the number of prior draws
+        (``attempts``), the number rejected (``rejected``) and the empirical
+        acceptance rate, which the experiments use to compare samplers.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if constraints.num_features != self.num_features:
+            raise ValueError(
+                f"constraints have {constraints.num_features} features, "
+                f"sampler expects {self.num_features}"
+            )
+        accepted = []
+        attempts = 0
+        while sum(a.shape[0] for a in accepted) < count:
+            if attempts >= self.max_attempts:
+                raise RejectionSamplingError(
+                    f"rejection sampling exhausted {attempts} attempts while "
+                    f"collecting {sum(a.shape[0] for a in accepted)}/{count} valid "
+                    f"samples; the valid region is likely too small — use the "
+                    f"importance or MCMC sampler instead"
+                )
+            batch = min(self.batch_size, self.max_attempts - attempts)
+            draws = self.prior.sample(batch, rng=self.rng)
+            attempts += batch
+            if self.noise_probability is None:
+                mask = constraints.valid_mask(draws)
+            else:
+                violations = constraints.violation_counts(draws)
+                mask = np.array(
+                    [not self._rejects_under_noise(int(x)) for x in violations]
+                )
+            accepted.append(draws[mask])
+        samples = np.vstack(accepted)[:count]
+        num_generated = sum(a.shape[0] for a in accepted)
+        stats = {
+            "sampler": self.short_name,
+            "attempts": attempts,
+            "accepted": int(num_generated),
+            "rejected": int(attempts - num_generated),
+            "acceptance_rate": (num_generated / attempts) if attempts else 1.0,
+        }
+        return SamplePool.unweighted(samples, stats)
+
+    def sample_one_valid(self, constraints: ConstraintSet) -> np.ndarray:
+        """Draw a single valid weight vector (used to seed the MCMC chain)."""
+        pool = self.sample(1, constraints)
+        return pool.samples[0]

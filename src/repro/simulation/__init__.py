@@ -1,0 +1,15 @@
+"""Simulated users and closed-loop elicitation sessions.
+
+The paper's effectiveness study (§5.6) generates ground-truth utility
+functions that the recommender does not know, presents 5 recommended + 5
+random packages per round, and assumes the user always clicks the presented
+package maximising the true utility.  :class:`~repro.simulation.user.SimulatedUser`
+implements that click model (optionally with the §7 noise model), and
+:class:`~repro.simulation.session.ElicitationSession` runs the full loop and
+reports how many clicks the system needs before its top-k list stabilises.
+"""
+
+from repro.simulation.user import SimulatedUser
+from repro.simulation.session import ElicitationSession, SessionResult
+
+__all__ = ["SimulatedUser", "ElicitationSession", "SessionResult"]

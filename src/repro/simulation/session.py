@@ -1,0 +1,131 @@
+"""Closed-loop elicitation sessions between a recommender and a simulated user.
+
+Reproduces the protocol of §5.6: per round the system presents its current
+best packages plus random exploration packages; the user clicks the presented
+package maximising their hidden utility; the click feeds back into the system;
+the loop stops once the system's top-k list stops changing (it has converged)
+or a round cap is reached.  The number of clicks needed before convergence is
+the statistic plotted in Figure 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.elicitation import PackageRecommender
+from repro.core.packages import Package
+from repro.simulation.user import SimulatedUser
+
+
+@dataclass
+class SessionResult:
+    """Outcome of one simulated elicitation session.
+
+    Attributes
+    ----------
+    clicks_to_convergence:
+        Number of clicks after which the system's top-k list stopped changing
+        (``max_rounds`` if it never stabilised within the round budget).
+    converged:
+        Whether the stability criterion was met within the round budget.
+    rounds_run:
+        Total number of presentation rounds executed.
+    top_k_history:
+        The system's top-k list (as package-id tuples) after every round.
+    final_regret:
+        True-utility regret of the final top-k list against the best packages
+        the user could have been shown from the same candidate pool (``None``
+        when not computed).
+    """
+
+    clicks_to_convergence: int
+    converged: bool
+    rounds_run: int
+    top_k_history: List[Tuple[Tuple[int, ...], ...]] = field(default_factory=list)
+    final_regret: Optional[float] = None
+
+
+class ElicitationSession:
+    """Run a recommender against a simulated user until the top-k list stabilises.
+
+    Parameters
+    ----------
+    recommender:
+        A fresh :class:`~repro.core.elicitation.PackageRecommender`.
+    user:
+        The simulated user providing clicks.
+    stability_rounds:
+        The top-k list must stay identical for this many consecutive rounds to
+        count as converged (the paper reports convergence to a "stable top-k
+        package ranking list").
+    max_rounds:
+        Hard cap on the number of presentation rounds.
+    """
+
+    def __init__(
+        self,
+        recommender: PackageRecommender,
+        user: SimulatedUser,
+        stability_rounds: int = 2,
+        max_rounds: int = 25,
+    ) -> None:
+        if stability_rounds <= 0:
+            raise ValueError(
+                f"stability_rounds must be > 0, got {stability_rounds}"
+            )
+        if max_rounds <= 0:
+            raise ValueError(f"max_rounds must be > 0, got {max_rounds}")
+        self.recommender = recommender
+        self.user = user
+        self.stability_rounds = stability_rounds
+        self.max_rounds = max_rounds
+
+    def run(self, compute_regret: bool = False) -> SessionResult:
+        """Execute the closed loop and report convergence statistics."""
+        history: List[Tuple[Tuple[int, ...], ...]] = []
+        clicks = 0
+        stable_streak = 0
+        converged = False
+        rounds = 0
+        previous_key: Optional[Tuple[Tuple[int, ...], ...]] = None
+
+        for rounds in range(1, self.max_rounds + 1):
+            round_ = self.recommender.recommend()
+            key = tuple(p.items for p in round_.recommended)
+            history.append(key)
+            if previous_key is not None and key == previous_key:
+                stable_streak += 1
+                if stable_streak >= self.stability_rounds:
+                    converged = True
+                    break
+            else:
+                stable_streak = 0
+            previous_key = key
+
+            clicked = self.user.click(round_.presented)
+            self.recommender.feedback(clicked, round_.presented)
+            clicks += 1
+
+        final_regret = None
+        if compute_regret and history:
+            final_packages = [Package(items) for items in history[-1]]
+            # Compare against the best the user could pick from everything the
+            # system ever presented, which is the information both sides share.
+            seen: List[Package] = []
+            seen_ids = set()
+            for key in history:
+                for items in key:
+                    if items not in seen_ids:
+                        seen_ids.add(items)
+                        seen.append(Package(items))
+            ideal = self.user.true_top_k(seen, len(final_packages))
+            final_regret = self.user.regret(final_packages, ideal)
+
+        return SessionResult(
+            clicks_to_convergence=clicks,
+            converged=converged,
+            rounds_run=rounds,
+            top_k_history=history,
+            final_regret=final_regret,
+        )

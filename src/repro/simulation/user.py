@@ -1,0 +1,118 @@
+"""Simulated users with hidden ground-truth utility functions.
+
+Substitutes for the real users of the paper's user study: a simulated user
+holds a ground-truth :class:`~repro.core.utility.LinearUtility` that the
+recommender never sees, and clicks on the presented package that maximises
+that utility (§5.6).  An optional :class:`~repro.core.noise.NoiseModel`
+makes the clicks imperfect, exercising the §7 extension.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.noise import NoiseModel
+from repro.core.packages import Package, PackageEvaluator
+from repro.core.utility import LinearUtility, sample_random_utility
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class SimulatedUser:
+    """A user whose clicks are driven by a hidden linear utility function.
+
+    Parameters
+    ----------
+    true_utility:
+        The ground-truth utility function (hidden from the recommender).
+    evaluator:
+        Evaluator used to score presented packages under the true utility.
+    noise:
+        Optional click-noise model; ``None`` means the user always clicks the
+        truly best presented package.
+    rng:
+        Seed or generator for the noisy-click randomness.
+    """
+
+    def __init__(
+        self,
+        true_utility: LinearUtility,
+        evaluator: PackageEvaluator,
+        noise: Optional[NoiseModel] = None,
+        rng: RngLike = None,
+    ) -> None:
+        if true_utility.num_features != evaluator.num_features:
+            raise ValueError(
+                f"utility has {true_utility.num_features} features but the "
+                f"evaluator expects {evaluator.num_features}"
+            )
+        self.true_utility = true_utility
+        self.evaluator = evaluator
+        self.noise = noise
+        self.rng = ensure_rng(rng)
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def random(
+        cls,
+        evaluator: PackageEvaluator,
+        rng: RngLike = None,
+        noise: Optional[NoiseModel] = None,
+        signs: Optional[Sequence[int]] = None,
+    ) -> "SimulatedUser":
+        """A user with a uniformly random ground-truth weight vector."""
+        generator = ensure_rng(rng)
+        utility = sample_random_utility(evaluator.num_features, generator, signs=signs)
+        return cls(utility, evaluator, noise=noise, rng=generator)
+
+    # ----------------------------------------------------------------- actions
+    def true_package_utility(self, package: Package) -> float:
+        """The package's utility under the hidden ground-truth weights."""
+        return self.evaluator.utility(package, self.true_utility.weights)
+
+    def best_presented_index(self, presented: Sequence[Package]) -> int:
+        """Index of the presented package with the highest true utility."""
+        if not presented:
+            raise ValueError("at least one presented package is required")
+        utilities = [self.true_package_utility(p) for p in presented]
+        best = 0
+        for index in range(1, len(presented)):
+            if utilities[index] > utilities[best] or (
+                utilities[index] == utilities[best]
+                and presented[index].package_id < presented[best].package_id
+            ):
+                best = index
+        return best
+
+    def click(self, presented: Sequence[Package]) -> Package:
+        """The package the user clicks (best under true utility, possibly noisy)."""
+        best_index = self.best_presented_index(presented)
+        if self.noise is None:
+            return presented[best_index]
+        chosen = self.noise.corrupt_choice(best_index, len(presented), self.rng)
+        return presented[chosen]
+
+    # --------------------------------------------------------------- assessing
+    def true_top_k(self, candidates: Sequence[Package], k: int) -> List[Package]:
+        """The user's true top-k among an explicit candidate list."""
+        if k <= 0:
+            raise ValueError(f"k must be > 0, got {k}")
+        scored = sorted(
+            candidates,
+            key=lambda p: (-self.true_package_utility(p), p.package_id),
+        )
+        return list(scored[:k])
+
+    def regret(self, recommended: Sequence[Package], ideal: Sequence[Package]) -> float:
+        """Difference between the ideal and recommended average true utility.
+
+        Zero regret means the recommended list is as good (under the hidden
+        utility) as the ideal list; used by the elicitation-effectiveness
+        experiments to quantify convergence.
+        """
+        if not recommended or not ideal:
+            raise ValueError("both package lists must be non-empty")
+        rec_value = float(np.mean([self.true_package_utility(p) for p in recommended]))
+        ideal_value = float(np.mean([self.true_package_utility(p) for p in ideal]))
+        return max(ideal_value - rec_value, 0.0)

@@ -1,0 +1,486 @@
+"""``Top-k-Pkg``: top-k package search under a fixed weight vector (§4).
+
+The algorithm adapts threshold-style top-k processing to package space:
+
+* items are read from per-feature desirability-sorted lists in round-robin
+  order (Algorithm 2);
+* every newly accessed item ``t`` is used to *expand* the candidate packages
+  discovered so far (Algorithm 4); candidates that can no longer be improved
+  by any unaccessed item are parked in a pruned queue Q−, others stay in the
+  expandable queue Q+;
+* an upper bound ``η_up`` on the utility of any not-yet-materialised package is
+  maintained with ``upper-exp`` (Algorithm 3), which pads a candidate with
+  copies of the imaginary boundary item τ (all φ-|p| of them when the utility
+  function is set-monotone, or only while the marginal gain stays positive
+  otherwise — Lemma 3 / Theorem 3);
+* the search stops as soon as ``η_up ≤ η_lo``, where ``η_lo`` is the utility of
+  the k-th best package discovered so far.
+
+Deviations from the paper (documented in DESIGN.md):
+
+* **Lower bound.** The paper sets ``η_lo`` to the k-th best utility *in Q−*
+  and to 0 when Q− holds fewer than k packages.  Using 0 terminates
+  prematurely when the true top packages have negative utility, so by default
+  we take the k-th best utility over *all* discovered packages and ``-inf``
+  when fewer than k exist — a valid lower bound that is never looser than the
+  paper's and remains correct for negative-utility workloads.
+* **Expansion gate.** Algorithm 4 only materialises ``p ∪ {t}`` when adding the
+  new item strictly improves ``p``.  That can miss top-k packages for ``k > 1``
+  whose generation path passes through a utility-decreasing extension (e.g.
+  the 2nd-best package being "best single item + one cheap filler").  The
+  default gate here instead materialises ``p ∪ {t}`` whenever its ``upper-exp``
+  bound can still reach the current lower bound ``η_lo``, which is exact: any
+  unaccessed item is feature-wise dominated by τ, so the bound covers every
+  completion of the candidate.  Pass ``expansion_rule="paper"`` for the
+  literal Algorithm 4 behaviour (useful for measuring the difference).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.items import ItemCatalog
+from repro.core.packages import AggregationState, Package, PackageEvaluator
+from repro.core.predicates import PredicateSet
+from repro.core.profiles import AggregateProfile
+from repro.core.utility import LinearUtility
+from repro.topk.sorted_lists import SortedItemLists
+from repro.utils.validation import require_vector
+
+
+@dataclass
+class PackageSearchResult:
+    """Result of one ``Top-k-Pkg`` run.
+
+    Attributes
+    ----------
+    packages:
+        The top-k packages in non-increasing utility order (ties broken by
+        package id).
+    utilities:
+        Utility of each returned package, aligned with ``packages``.
+    items_accessed:
+        Number of distinct items read from the sorted lists before the
+        termination condition fired.
+    candidates_generated:
+        Number of candidate packages materialised during the search.
+    """
+
+    packages: List[Package]
+    utilities: List[float]
+    items_accessed: int
+    candidates_generated: int
+
+    def as_pairs(self) -> List[Tuple[Package, float]]:
+        """The result as ``(package, utility)`` pairs."""
+        return list(zip(self.packages, self.utilities))
+
+    def top_package(self) -> Optional[Package]:
+        """The single best package, or None when the result is empty."""
+        return self.packages[0] if self.packages else None
+
+
+class TopKPackageSearcher:
+    """Search for the top-k packages under a fixed weight vector.
+
+    Parameters
+    ----------
+    evaluator:
+        Binds the item catalog, the aggregate profile and the maximum package
+        size φ.
+    paper_lower_bound:
+        Use the paper's exact lower-bound rule (k-th best of Q−, 0 otherwise)
+        instead of the tighter-and-safer default (see module docstring).
+    expansion_rule:
+        ``"upper_bound"`` (default, exact — see module docstring) or
+        ``"paper"`` (the literal improvement gate of Algorithm 4).
+    predicates:
+        Optional package-schema predicates (§7): candidate packages violating
+        a *closed* predicate set are not reported (but may still be extended,
+        since adding items can satisfy count-based predicates).
+    max_candidates:
+        Safety cap on the number of candidate packages kept in the queues; the
+        search degrades gracefully (still correct for the packages explored)
+        rather than exhausting memory on adversarial inputs.
+    beam_width:
+        Optional cap on the size of the expandable queue Q+.  When the queue
+        exceeds the cap, only the candidates with the best ``upper-exp`` bounds
+        are kept for further expansion.  ``None`` (default) keeps the search
+        exact; a finite beam turns it into a bounded-work anytime search for
+        adversarial workloads (e.g. heavily correlated item features, where the
+        boundary vector τ decays very slowly and the exact queue explodes).
+    max_items_accessed:
+        Optional cap on the number of items read from the sorted lists before
+        the search stops and reports the best packages found so far.  ``None``
+        (default) reads until the bound-based termination fires.
+    """
+
+    def __init__(
+        self,
+        evaluator: PackageEvaluator,
+        paper_lower_bound: bool = False,
+        expansion_rule: str = "upper_bound",
+        predicates: Optional[PredicateSet] = None,
+        max_candidates: int = 200_000,
+        beam_width: Optional[int] = None,
+        max_items_accessed: Optional[int] = None,
+    ) -> None:
+        self.evaluator = evaluator
+        self.paper_lower_bound = paper_lower_bound
+        if expansion_rule not in ("upper_bound", "paper"):
+            raise ValueError(
+                f"expansion_rule must be 'upper_bound' or 'paper', got {expansion_rule!r}"
+            )
+        self.expansion_rule = expansion_rule
+        self.predicates = predicates
+        if max_candidates <= 0:
+            raise ValueError(f"max_candidates must be > 0, got {max_candidates}")
+        self.max_candidates = max_candidates
+        if beam_width is not None and beam_width <= 0:
+            raise ValueError(f"beam_width must be > 0 or None, got {beam_width}")
+        self.beam_width = beam_width
+        if max_items_accessed is not None and max_items_accessed <= 0:
+            raise ValueError(
+                f"max_items_accessed must be > 0 or None, got {max_items_accessed}"
+            )
+        self.max_items_accessed = max_items_accessed
+
+    # -------------------------------------------------------------- public API
+    def search(self, weights: np.ndarray, k: int) -> PackageSearchResult:
+        """Run ``Top-k-Pkg`` for weight vector ``weights`` and return the top ``k``."""
+        weights = require_vector(
+            weights, "weights", length=self.evaluator.num_features
+        )
+        if k <= 0:
+            raise ValueError(f"k must be > 0, got {k}")
+
+        utility = LinearUtility(weights)
+        set_monotone = utility.is_set_monotone(self.evaluator.profile)
+        lists = SortedItemLists(self.evaluator.catalog, weights)
+        phi = self.evaluator.max_package_size
+        if not lists.active_features:
+            # Degenerate case: all weights are zero, every package has utility
+            # 0, so the deterministic tie-breaker (package id) decides alone.
+            return self._all_zero_weight_result(k)
+
+        # Candidate bookkeeping: package -> (state, utility).  Q+ holds
+        # expandable candidates, Q- the pruned ones; `discovered` spans both.
+        # `_top_heap` keeps the k best reportable utilities seen so far so the
+        # lower bound η_lo can be read in O(1).
+        self._top_heap: List[float] = []
+        empty_state = self.evaluator.empty_state()
+        expandable: Dict[Tuple[int, ...], AggregationState] = {(): empty_state}
+        pruned: Dict[Tuple[int, ...], AggregationState] = {}
+        discovered: Dict[Tuple[int, ...], float] = {}
+        candidates_generated = 0
+
+        while True:
+            if (
+                self.max_items_accessed is not None
+                and lists.num_accessed >= self.max_items_accessed
+            ):
+                break
+            item_index = lists.next_item()
+            if item_index is None:
+                break
+            tau = lists.boundary_vector()
+            eta_lo, eta_up = self._expand_packages(
+                weights, set_monotone, expandable, pruned, discovered,
+                item_index, tau, phi, k,
+            )
+            candidates_generated = len(discovered)
+            if candidates_generated > self.max_candidates:
+                break
+            if eta_up <= eta_lo:
+                break
+            self._apply_beam(expandable, weights, set_monotone, tau, phi)
+
+        return self._collect_result(
+            weights, discovered, k, lists.num_accessed, candidates_generated
+        )
+
+    def _all_zero_weight_result(self, k: int) -> PackageSearchResult:
+        """Top-k when every weight is zero: the k smallest package ids, utility 0."""
+        phi = self.evaluator.max_package_size
+        num_items = self.evaluator.catalog.num_items
+        selected: List[Package] = []
+        scanned = 0
+
+        def descend(prefix: Tuple[int, ...]) -> None:
+            nonlocal scanned
+            if len(selected) >= k or scanned > self.max_candidates:
+                return
+            start = prefix[-1] + 1 if prefix else 0
+            for item in range(start, num_items):
+                if len(selected) >= k or scanned > self.max_candidates:
+                    return
+                candidate = prefix + (item,)
+                scanned += 1
+                if self._reportable(candidate):
+                    selected.append(Package(candidate))
+                if len(candidate) < phi:
+                    descend(candidate)
+
+        descend(())
+        return PackageSearchResult(
+            packages=selected,
+            utilities=[0.0] * len(selected),
+            items_accessed=0,
+            candidates_generated=scanned,
+        )
+
+    # ------------------------------------------------------- expansion (Alg. 4)
+    def _expand_packages(
+        self,
+        weights: np.ndarray,
+        set_monotone: bool,
+        expandable: Dict[Tuple[int, ...], AggregationState],
+        pruned: Dict[Tuple[int, ...], AggregationState],
+        discovered: Dict[Tuple[int, ...], float],
+        item_index: int,
+        tau: np.ndarray,
+        phi: int,
+        k: int,
+    ) -> Tuple[float, float]:
+        """One round of Algorithm 4; returns the (η_lo, η_up) bounds.
+
+        Two quantities drive the pruning for every candidate package ``p``:
+
+        * ``U(p)`` — its own utility (already counted in ``η_lo`` once ``p`` is
+          discovered);
+        * ``strict bound`` — the best utility any *completion of p with at
+          least one unaccessed item* can achieve, obtained by padding ``p``
+          with copies of the boundary item τ (``upper-exp`` forced to add τ at
+          least once).
+
+        A candidate leaves Q+ as soon as its strict bound drops below ``η_lo``
+        (no undiscovered completion can reach the top-k any more), and the
+        global ``η_up`` is the maximum strict bound across Q+ — the utility the
+        best undiscovered package could still achieve.
+        """
+        eta_lo = self._lower_bound(discovered, pruned, weights, k)
+        eta_up = -np.inf
+        to_prune: List[Tuple[int, ...]] = []
+        new_expandable: Dict[Tuple[int, ...], AggregationState] = {}
+        use_paper_gate = self.expansion_rule == "paper"
+
+        for package_items, state in expandable.items():
+            current_utility = self.evaluator.state_utility(state, weights)
+            can_grow = len(package_items) < phi
+
+            if can_grow and item_index not in package_items:
+                extended_state = self.evaluator.state_add_item(state, item_index)
+                extended_utility = self.evaluator.state_utility(extended_state, weights)
+                extended_strict = self._upper_exp(
+                    extended_state, weights, set_monotone, tau, phi, force_first=True
+                )
+                extended_best = max(extended_utility, extended_strict)
+                if use_paper_gate:
+                    # Algorithm 4, line 3: only keep utility-improving extensions
+                    # (the empty package still spawns singletons so every accessed
+                    # item becomes a candidate).
+                    keep_extension = extended_utility > current_utility or not package_items
+                else:
+                    # Exact gate: materialise the extension while either its own
+                    # utility or some completion of it can still reach the top-k.
+                    keep_extension = extended_best >= eta_lo
+                if keep_extension:
+                    new_items = tuple(sorted(package_items + (item_index,)))
+                    if new_items not in discovered:
+                        discovered[new_items] = extended_utility
+                        if self._reportable(new_items):
+                            heap_bound = self._heap_lower_bound(new_items, extended_utility, k)
+                            if not self.paper_lower_bound:
+                                eta_lo = max(eta_lo, heap_bound)
+                        if use_paper_gate:
+                            still_expandable = (
+                                len(new_items) < phi and extended_strict > extended_utility
+                            )
+                        else:
+                            still_expandable = (
+                                len(new_items) < phi and extended_strict >= eta_lo
+                            )
+                        if still_expandable:
+                            new_expandable[new_items] = extended_state
+                            eta_up = max(eta_up, extended_strict)
+                        else:
+                            pruned[new_items] = extended_state
+
+            # Can the existing package still spawn top-k completions with
+            # unaccessed items?
+            if can_grow:
+                own_strict = self._upper_exp(
+                    state, weights, set_monotone, tau, phi, force_first=True
+                )
+            else:
+                own_strict = -np.inf
+            if use_paper_gate:
+                keep_expandable = can_grow and own_strict > current_utility
+            else:
+                keep_expandable = can_grow and own_strict >= eta_lo
+            if keep_expandable or not package_items:
+                # The empty package is never pruned: it is the seed for
+                # singletons of items not yet accessed, so its strict bound
+                # always covers the still-entirely-unseen packages.
+                eta_up = max(eta_up, own_strict)
+            else:
+                to_prune.append(package_items)
+
+        for package_items in to_prune:
+            pruned[package_items] = expandable.pop(package_items)
+        expandable.update(new_expandable)
+
+        eta_lo = self._lower_bound(discovered, pruned, weights, k)
+        return eta_lo, eta_up
+
+    def _apply_beam(
+        self,
+        expandable: Dict[Tuple[int, ...], AggregationState],
+        weights: np.ndarray,
+        set_monotone: bool,
+        tau: np.ndarray,
+        phi: int,
+    ) -> None:
+        """Trim Q+ to the configured beam width, keeping the best-bounded candidates.
+
+        A no-op when ``beam_width`` is None or Q+ is small.  The empty package
+        is always retained because it seeds the singletons of unaccessed items.
+        """
+        if self.beam_width is None or len(expandable) <= self.beam_width:
+            return
+        scored = []
+        for items, state in expandable.items():
+            if not items:
+                continue
+            bound = self._upper_exp(state, weights, set_monotone, tau, phi, force_first=True)
+            scored.append((bound, items))
+        scored.sort(key=lambda pair: (-pair[0], pair[1]))
+        keep = {items for _, items in scored[: self.beam_width]}
+        keep.add(())
+        for items in list(expandable.keys()):
+            if items not in keep:
+                del expandable[items]
+
+    def _heap_lower_bound(
+        self, new_items: Tuple[int, ...], utility: float, k: int
+    ) -> float:
+        """Maintain a size-k min-heap of reportable utilities; return the k-th best.
+
+        Incremental companion of :meth:`_lower_bound` used inside the expansion
+        loop so η_lo tightens as soon as new candidates are discovered, without
+        rescanning the whole ``discovered`` map.  Returns ``-inf`` (or 0 under
+        the paper rule) until k reportable candidates exist.
+        """
+        heap = self._top_heap
+        if len(heap) < k:
+            heapq.heappush(heap, utility)
+        elif utility > heap[0]:
+            heapq.heapreplace(heap, utility)
+        if len(heap) < k:
+            return 0.0 if self.paper_lower_bound else -np.inf
+        return heap[0]
+
+    def _lower_bound(
+        self,
+        discovered: Dict[Tuple[int, ...], float],
+        pruned: Dict[Tuple[int, ...], AggregationState],
+        weights: np.ndarray,
+        k: int,
+    ) -> float:
+        """η_lo: utility of the k-th best package found so far."""
+        if self.paper_lower_bound:
+            utilities = sorted(
+                (
+                    self.evaluator.state_utility(state, weights)
+                    for items, state in pruned.items()
+                    if items
+                ),
+                reverse=True,
+            )
+            if len(utilities) < k:
+                return 0.0
+            return utilities[k - 1]
+        heap = self._top_heap
+        if len(heap) < k:
+            return -np.inf
+        return heap[0]
+
+    # ------------------------------------------------------ upper-exp (Alg. 3)
+    def _upper_exp(
+        self,
+        state: AggregationState,
+        weights: np.ndarray,
+        set_monotone: bool,
+        tau: np.ndarray,
+        phi: int,
+        force_first: bool = False,
+    ) -> float:
+        """Upper bound on the utility of packages extending ``state`` (Algorithm 3).
+
+        Pads the package with copies of the imaginary boundary item τ: all the
+        way to φ items when the utility is set-monotone, otherwise only while
+        the marginal gain stays positive (Lemma 3 guarantees the gains are
+        non-increasing, so stopping at the first non-positive gain is safe).
+
+        With ``force_first=True`` the first τ is added unconditionally, which
+        turns the value into a bound over completions containing *at least one
+        unaccessed item* — the quantity the termination test needs (the package
+        itself is already accounted for in the lower bound once discovered).
+        Returns ``-inf`` when ``force_first`` is requested but the package is
+        already at the maximum size.
+        """
+        current = state
+        current_utility = self.evaluator.state_utility(current, weights)
+        remaining = phi - current.size
+        if force_first:
+            if remaining <= 0:
+                return -np.inf
+            current = self.evaluator.state_add_values(current, tau)
+            current_utility = self.evaluator.state_utility(current, weights)
+            remaining -= 1
+        for _ in range(remaining):
+            padded = self.evaluator.state_add_values(current, tau)
+            padded_utility = self.evaluator.state_utility(padded, weights)
+            if not set_monotone and padded_utility - current_utility <= 0:
+                return current_utility
+            current = padded
+            current_utility = padded_utility
+        return current_utility
+
+    # ----------------------------------------------------------------- results
+    def _reportable(self, package_items: Tuple[int, ...]) -> bool:
+        """Whether a discovered candidate may appear in the final result."""
+        if not package_items:
+            return False
+        if self.predicates is None:
+            return True
+        return self.predicates.satisfied_by(
+            Package(package_items), self.evaluator.catalog
+        )
+
+    def _collect_result(
+        self,
+        weights: np.ndarray,
+        discovered: Dict[Tuple[int, ...], float],
+        k: int,
+        items_accessed: int,
+        candidates_generated: int,
+    ) -> PackageSearchResult:
+        reportable = [
+            (value, items)
+            for items, value in discovered.items()
+            if self._reportable(items)
+        ]
+        reportable.sort(key=lambda pair: (-pair[0], pair[1]))
+        top = reportable[:k]
+        return PackageSearchResult(
+            packages=[Package(items) for _, items in top],
+            utilities=[value for value, _ in top],
+            items_accessed=items_accessed,
+            candidates_generated=candidates_generated,
+        )

@@ -1,0 +1,127 @@
+"""Per-feature sorted item lists with round-robin access (§4, Algorithm 2).
+
+``Top-k-Pkg`` accesses items "in their descending utility order" per feature:
+for a feature with a positive weight the list is sorted by decreasing value,
+for a negative weight by increasing value (a sorted column can be read in
+either direction, so only one physical ordering per feature is kept).  The
+*boundary value vector* τ holds, per feature, the value of the last accessed
+item of that feature's list — i.e. the best value any *unaccessed* item can
+still contribute on that feature.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.items import ItemCatalog
+from repro.utils.validation import require_vector
+
+
+class SortedItemLists:
+    """Round-robin access over per-feature desirability-sorted item lists.
+
+    Parameters
+    ----------
+    catalog:
+        The item catalog.
+    weights:
+        The weight vector ``w``; the sign of each component decides the sort
+        direction of the corresponding list.  Features with zero weight do not
+        get a list (they cannot influence utility).
+    """
+
+    def __init__(self, catalog: ItemCatalog, weights: np.ndarray) -> None:
+        weights = require_vector(weights, "weights", length=catalog.num_features)
+        self.catalog = catalog
+        self.weights = weights
+        self.active_features: List[int] = [
+            j for j in range(catalog.num_features) if weights[j] != 0.0
+        ]
+        # One ordering per active feature: best item for that feature first.
+        self._orders: Dict[int, np.ndarray] = {}
+        for j in self.active_features:
+            descending = weights[j] > 0
+            self._orders[j] = catalog.argsort_feature(j, descending=descending)
+        self._positions: Dict[int, int] = {j: 0 for j in self.active_features}
+        self._last_value: Dict[int, Optional[float]] = {j: None for j in self.active_features}
+        self._accessed: set = set()
+        self._cursor = 0
+
+    # ------------------------------------------------------------------ basics
+    @property
+    def num_accessed(self) -> int:
+        """Number of distinct items accessed so far."""
+        return len(self._accessed)
+
+    def accessed_items(self) -> List[int]:
+        """Indices of all items accessed so far (unordered)."""
+        return list(self._accessed)
+
+    def exhausted(self) -> bool:
+        """Whether every list has been fully read."""
+        return all(
+            self._positions[j] >= self.catalog.num_items for j in self.active_features
+        )
+
+    # ------------------------------------------------------------------ access
+    def next_item(self) -> Optional[int]:
+        """Access the next *new* item in round-robin order over the lists.
+
+        Items already returned from another list are skipped (but still move
+        that list's boundary value forward).  Returns ``None`` when all lists
+        are exhausted.
+        """
+        if not self.active_features:
+            return None
+        while not self.exhausted():
+            feature = self.active_features[self._cursor % len(self.active_features)]
+            self._cursor += 1
+            position = self._positions[feature]
+            if position >= self.catalog.num_items:
+                continue
+            item_index = int(self._orders[feature][position])
+            self._positions[feature] = position + 1
+            value = self.catalog.features[item_index, feature]
+            self._last_value[feature] = 0.0 if np.isnan(value) else float(value)
+            if item_index in self._accessed:
+                # Already produced via another list; keep scanning.
+                continue
+            self._accessed.add(item_index)
+            return item_index
+        return None
+
+    # ---------------------------------------------------------------- boundary
+    def boundary_vector(self) -> np.ndarray:
+        """The boundary value vector τ.
+
+        For each active feature, τ carries the value of the last accessed item
+        in that feature's list (or the best possible value if the list has not
+        been read yet); inactive (zero-weight) features are set to 0 since they
+        cannot contribute utility either way.  An imaginary item with feature
+        vector τ therefore upper-bounds the utility contribution of any
+        unaccessed item.
+        """
+        tau = np.zeros(self.catalog.num_features)
+        for j in self.active_features:
+            if self._last_value[j] is None:
+                order = self._orders[j]
+                best_value = self.catalog.features[int(order[0]), j]
+                tau[j] = 0.0 if np.isnan(best_value) else float(best_value)
+            else:
+                tau[j] = self._last_value[j]
+        return tau
+
+    def exhausted_boundary_vector(self) -> np.ndarray:
+        """τ once all items are accessed: the *worst* value per active feature.
+
+        Used to signal that no unaccessed item remains: extending a package
+        with this vector can never look better than extending it with a real
+        remaining item (there are none).
+        """
+        tau = np.zeros(self.catalog.num_features)
+        for j in self.active_features:
+            column = self.catalog.feature_column(j, fill_null=0.0)
+            tau[j] = float(column.min()) if self.weights[j] > 0 else float(column.max())
+        return tau

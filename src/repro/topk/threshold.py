@@ -1,0 +1,92 @@
+"""Classical threshold algorithm (TA) for top-k *items* under a linear score.
+
+The paper treats top-k item query processing as a known substrate (citing the
+survey of Ilyas, Beskales & Soliman) and adapts its ideas both for the package
+search (§4) and for sample maintenance (§3.4).  This module provides that
+substrate: given an item catalog and a weight vector, find the k items with the
+highest linear score while accessing as few items as possible through the
+per-feature sorted lists.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.items import ItemCatalog
+from repro.topk.sorted_lists import SortedItemLists
+from repro.utils.validation import require_vector
+
+
+def top_k_items(
+    catalog: ItemCatalog,
+    weights: np.ndarray,
+    k: int,
+    return_stats: bool = False,
+):
+    """Top-k items by linear score ``w · t`` using the threshold algorithm.
+
+    Parameters
+    ----------
+    catalog:
+        The item catalog.
+    weights:
+        Linear scoring weights (positive = larger is better).
+    k:
+        Number of items to return.
+    return_stats:
+        When ``True``, also return a dict with the number of items accessed,
+        so callers can verify TA terminates early.
+
+    Returns
+    -------
+    list of (item_index, score)
+        The top-k items in non-increasing score order (ties broken by item
+        index), and optionally the stats dict.
+    """
+    weights = require_vector(weights, "weights", length=catalog.num_features)
+    if k <= 0:
+        raise ValueError(f"k must be > 0, got {k}")
+    k = min(k, catalog.num_items)
+
+    lists = SortedItemLists(catalog, weights)
+    filled = catalog.filled(0.0)
+    best: List[Tuple[float, int]] = []  # (score, item_index)
+
+    if not lists.active_features:
+        # All weights are zero: every item scores 0; return the first k by id.
+        result = [(i, 0.0) for i in range(k)]
+        return (result, {"items_accessed": 0}) if return_stats else result
+
+    while True:
+        item_index = lists.next_item()
+        if item_index is None:
+            break
+        score = float(filled[item_index] @ weights)
+        best.append((score, item_index))
+        best.sort(key=lambda pair: (-pair[0], pair[1]))
+        best = best[:k]
+        # Threshold: the best score any unaccessed item can achieve.
+        tau = lists.boundary_vector()
+        threshold = float(tau @ weights)
+        if len(best) == k and best[-1][0] >= threshold:
+            break
+
+    result = [(item_index, score) for score, item_index in best]
+    if return_stats:
+        return result, {"items_accessed": lists.num_accessed}
+    return result
+
+
+def scan_top_k_items(
+    catalog: ItemCatalog, weights: np.ndarray, k: int
+) -> List[Tuple[int, float]]:
+    """Exact top-k items by full scan (vectorised); the correctness oracle for TA."""
+    weights = require_vector(weights, "weights", length=catalog.num_features)
+    if k <= 0:
+        raise ValueError(f"k must be > 0, got {k}")
+    k = min(k, catalog.num_items)
+    scores = catalog.filled(0.0) @ weights
+    order = np.lexsort((np.arange(scores.shape[0]), -scores))[:k]
+    return [(int(i), float(scores[i])) for i in order]

@@ -1,0 +1,21 @@
+"""Shared utilities: random-number handling, timing, and validation helpers."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timing import Stopwatch, TimingRecord
+from repro.utils.validation import (
+    require_matrix,
+    require_positive,
+    require_probability,
+    require_vector,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "Stopwatch",
+    "TimingRecord",
+    "require_matrix",
+    "require_positive",
+    "require_probability",
+    "require_vector",
+]

@@ -1,0 +1,82 @@
+"""Light-weight timing helpers used by the experiment harness.
+
+The paper reports wall-clock time split into *sample generation* and
+*top-k package generation* phases (Figure 6), plus maintenance and
+constraint-checking times (Figures 5 and 7).  :class:`Stopwatch` and
+:class:`TimingRecord` provide a uniform way to capture those phases.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+from contextlib import contextmanager
+
+
+@dataclass
+class TimingRecord:
+    """A named collection of accumulated phase durations (in seconds)."""
+
+    durations: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, phase: str, seconds: float) -> None:
+        """Accumulate ``seconds`` under ``phase``."""
+        if seconds < 0:
+            raise ValueError(f"negative duration for phase {phase!r}: {seconds}")
+        self.durations[phase] = self.durations.get(phase, 0.0) + seconds
+        self.counts[phase] = self.counts.get(phase, 0) + 1
+
+    def get(self, phase: str) -> float:
+        """Total seconds accumulated under ``phase`` (0.0 if never timed)."""
+        return self.durations.get(phase, 0.0)
+
+    def mean(self, phase: str) -> float:
+        """Mean duration of a single timed occurrence of ``phase``."""
+        count = self.counts.get(phase, 0)
+        if count == 0:
+            return 0.0
+        return self.durations[phase] / count
+
+    def total(self) -> float:
+        """Sum of all phase durations."""
+        return sum(self.durations.values())
+
+    def merge(self, other: "TimingRecord") -> "TimingRecord":
+        """Return a new record combining ``self`` and ``other``."""
+        merged = TimingRecord(dict(self.durations), dict(self.counts))
+        for phase, seconds in other.durations.items():
+            merged.durations[phase] = merged.durations.get(phase, 0.0) + seconds
+        for phase, count in other.counts.items():
+            merged.counts[phase] = merged.counts.get(phase, 0) + count
+        return merged
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain ``dict`` copy of the accumulated durations."""
+        return dict(self.durations)
+
+    def phases(self) -> List[str]:
+        """Names of all phases timed so far, in insertion order."""
+        return list(self.durations)
+
+
+class Stopwatch:
+    """Context-manager-based stopwatch writing into a :class:`TimingRecord`."""
+
+    def __init__(self, record: Optional[TimingRecord] = None) -> None:
+        self.record = record if record is not None else TimingRecord()
+
+    @contextmanager
+    def measure(self, phase: str) -> Iterator[None]:
+        """Time the enclosed block and accumulate it under ``phase``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record.add(phase, time.perf_counter() - start)
+
+    def time_call(self, phase: str, func, *args, **kwargs):
+        """Call ``func`` while timing it under ``phase``; return its result."""
+        with self.measure(phase):
+            return func(*args, **kwargs)

@@ -1,0 +1,78 @@
+"""Argument-validation helpers shared across the library.
+
+These helpers keep error messages consistent and raise early with actionable
+context, which matters because most public entry points accept raw numpy
+arrays coming straight from user code or data loaders.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def require_positive(value: float, name: str, *, allow_zero: bool = False) -> float:
+    """Validate that ``value`` is positive (or non-negative if ``allow_zero``)."""
+    value = float(value)
+    if allow_zero:
+        if value < 0:
+            raise ValueError(f"{name} must be >= 0, got {value}")
+    else:
+        if value <= 0:
+            raise ValueError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def require_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be within [0, 1], got {value}")
+    return value
+
+
+def require_vector(
+    array: np.ndarray,
+    name: str,
+    *,
+    length: Optional[int] = None,
+    dtype=float,
+) -> np.ndarray:
+    """Coerce ``array`` to a 1-D numpy array, optionally checking its length."""
+    arr = np.asarray(array, dtype=dtype)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be a 1-D array, got shape {arr.shape}")
+    if length is not None and arr.shape[0] != length:
+        raise ValueError(
+            f"{name} must have length {length}, got length {arr.shape[0]}"
+        )
+    return arr
+
+
+def require_matrix(
+    array: np.ndarray,
+    name: str,
+    *,
+    columns: Optional[int] = None,
+    dtype=float,
+) -> np.ndarray:
+    """Coerce ``array`` to a 2-D numpy array, optionally checking column count."""
+    arr = np.asarray(array, dtype=dtype)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be a 2-D array, got shape {arr.shape}")
+    if columns is not None and arr.shape[1] != columns:
+        raise ValueError(
+            f"{name} must have {columns} columns, got {arr.shape[1]}"
+        )
+    return arr
+
+
+def require_index(value: int, name: str, *, upper: Optional[int] = None) -> int:
+    """Validate that ``value`` is a non-negative index, optionally below ``upper``."""
+    value = int(value)
+    if value < 0:
+        raise ValueError(f"{name} must be a non-negative index, got {value}")
+    if upper is not None and value >= upper:
+        raise ValueError(f"{name} must be < {upper}, got {value}")
+    return value

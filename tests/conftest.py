@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.items import ItemCatalog
+from repro.core.packages import PackageEvaluator
+from repro.core.profiles import AggregateProfile
+from repro.sampling.gaussian_mixture import GaussianMixture
+
+
+@pytest.fixture
+def paper_example_catalog() -> ItemCatalog:
+    """The three items of the paper's Figure 1: features (cost, rating)."""
+    features = np.array(
+        [
+            [0.6, 0.2],  # t1
+            [0.4, 0.4],  # t2
+            [0.2, 0.4],  # t3
+        ]
+    )
+    return ItemCatalog(features, feature_names=["cost", "rating"])
+
+
+@pytest.fixture
+def paper_example_evaluator(paper_example_catalog) -> PackageEvaluator:
+    """Evaluator matching the paper's Example 1: profile (sum1, avg2), φ = 2."""
+    profile = AggregateProfile(["sum", "avg"])
+    return PackageEvaluator(paper_example_catalog, profile, max_package_size=2)
+
+
+@pytest.fixture
+def small_random_catalog() -> ItemCatalog:
+    """A reproducible 30-item, 4-feature catalog for small-scale tests."""
+    rng = np.random.default_rng(7)
+    return ItemCatalog(rng.random((30, 4)))
+
+
+@pytest.fixture
+def small_evaluator(small_random_catalog) -> PackageEvaluator:
+    """Evaluator over the small random catalog with a mixed profile."""
+    profile = AggregateProfile(["sum", "avg", "max", "min"])
+    return PackageEvaluator(small_random_catalog, profile, max_package_size=3)
+
+
+@pytest.fixture
+def default_prior() -> GaussianMixture:
+    """A zero-centred 4-dimensional single-component prior."""
+    return GaussianMixture.default_prior(4, rng=0)
+
+
+@pytest.fixture
+def two_dim_prior() -> GaussianMixture:
+    """A zero-centred 2-dimensional prior for geometric tests."""
+    return GaussianMixture.default_prior(2, rng=0)

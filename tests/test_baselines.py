@@ -1,0 +1,144 @@
+"""Tests for the skyline and hard-constraint baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.hard_constraint import BudgetConstraint, HardConstraintRecommender
+from repro.baselines.skyline import skyline_items, skyline_of_vectors, skyline_packages
+from repro.core.items import ItemCatalog
+from repro.core.packages import PackageEvaluator
+from repro.core.profiles import AggregateProfile
+
+
+class TestSkylineOfVectors:
+    def test_simple_two_dimensional_skyline(self):
+        vectors = np.array([
+            [0.9, 0.1],
+            [0.1, 0.9],
+            [0.5, 0.5],
+            [0.4, 0.4],   # dominated by (0.5, 0.5)
+            [0.9, 0.05],  # dominated by (0.9, 0.1)
+        ])
+        skyline = skyline_of_vectors(vectors, np.array([1.0, 1.0]))
+        assert skyline == [0, 1, 2]
+
+    def test_directions_flip_domination(self):
+        vectors = np.array([[0.2, 0.8], [0.4, 0.9]])
+        # Smaller is better on both features: the first row dominates.
+        skyline = skyline_of_vectors(vectors, np.array([-1.0, -1.0]))
+        assert skyline == [0]
+
+    def test_duplicate_points_all_kept(self):
+        vectors = np.array([[0.5, 0.5], [0.5, 0.5]])
+        assert skyline_of_vectors(vectors, np.array([1.0, 1.0])) == [0, 1]
+
+    def test_invalid_directions_rejected(self):
+        with pytest.raises(ValueError):
+            skyline_of_vectors(np.ones((2, 2)), np.array([1.0, 0.5]))
+
+    def test_no_skyline_point_dominated(self):
+        rng = np.random.default_rng(0)
+        vectors = rng.random((200, 3))
+        directions = np.array([1.0, -1.0, 1.0])
+        skyline = set(skyline_of_vectors(vectors, directions))
+        oriented = vectors * directions
+        for index in skyline:
+            dominated = np.any(
+                np.all(oriented >= oriented[index], axis=1)
+                & np.any(oriented > oriented[index], axis=1)
+            )
+            assert not dominated
+
+
+class TestSkylineItems:
+    def test_skyline_items_subset_of_catalog(self, small_random_catalog):
+        skyline = skyline_items(small_random_catalog)
+        assert all(0 <= i < small_random_catalog.num_items for i in skyline)
+        assert len(skyline) >= 1
+
+
+class TestSkylinePackages:
+    @pytest.fixture
+    def tiny_evaluator(self):
+        rng = np.random.default_rng(2)
+        catalog = ItemCatalog(rng.random((8, 2)))
+        return PackageEvaluator(catalog, AggregateProfile(["sum", "avg"]), 3)
+
+    def test_fixed_size_skyline_packages(self, tiny_evaluator):
+        results = skyline_packages(tiny_evaluator, package_size=2, directions=[-1.0, 1.0])
+        assert results
+        for package, vector in results:
+            assert package.size == 2
+            assert np.allclose(vector, tiny_evaluator.vector(package))
+
+    def test_skyline_count_grows_with_size_interest(self, tiny_evaluator):
+        """The baseline's drawback: the skyline set is large relative to top-k."""
+        results = skyline_packages(tiny_evaluator, package_size=2, directions=[-1.0, 1.0])
+        assert len(results) >= 3  # already more than a user wants to sift through
+
+    def test_invalid_package_size(self, tiny_evaluator):
+        with pytest.raises(ValueError):
+            skyline_packages(tiny_evaluator, package_size=0)
+
+    def test_max_packages_guard(self, tiny_evaluator):
+        with pytest.raises(RuntimeError):
+            skyline_packages(tiny_evaluator, package_size=2, max_packages=3)
+
+
+class TestHardConstraintRecommender:
+    @pytest.fixture
+    def setup(self):
+        rng = np.random.default_rng(1)
+        catalog = ItemCatalog(rng.random((12, 2)))
+        evaluator = PackageEvaluator(catalog, AggregateProfile(["sum", "avg"]), 3)
+        objective = np.array([0.0, 1.0])  # maximise quality
+        budgets = [BudgetConstraint(feature_index=0, upper_bound=0.5)]  # cost cap
+        return evaluator, objective, budgets
+
+    def test_greedy_respects_budget(self, setup):
+        evaluator, objective, budgets = setup
+        recommender = HardConstraintRecommender(evaluator, objective, budgets)
+        result = recommender.recommend()
+        assert result is not None
+        package, utility = result
+        vector = evaluator.vector(package)
+        assert vector[0] <= 0.5 + 1e-9
+        assert utility == pytest.approx(float(vector @ objective))
+
+    def test_exhaustive_at_least_as_good_as_greedy(self, setup):
+        evaluator, objective, budgets = setup
+        recommender = HardConstraintRecommender(evaluator, objective, budgets)
+        greedy = recommender.recommend()
+        exact = recommender.best_package_exhaustive()
+        assert exact is not None
+        assert exact[1] >= greedy[1] - 1e-9
+
+    def test_infeasible_budget_returns_none(self, setup):
+        evaluator, objective, _ = setup
+        impossible = [BudgetConstraint(feature_index=0, upper_bound=0.0),
+                      BudgetConstraint(feature_index=1, upper_bound=0.0)]
+        recommender = HardConstraintRecommender(evaluator, objective, impossible)
+        assert recommender.recommend() is None
+        assert recommender.best_package_exhaustive() is None
+
+    def test_loose_budget_admits_many_candidates(self, setup):
+        """The paper's critique: a too-high budget leaves a huge candidate set."""
+        evaluator, objective, _ = setup
+        tight = HardConstraintRecommender(
+            evaluator, objective, [BudgetConstraint(0, 0.2)]
+        ).feasible_count()
+        loose = HardConstraintRecommender(
+            evaluator, objective, [BudgetConstraint(0, 1.0)]
+        ).feasible_count()
+        assert loose > tight
+
+    def test_budget_constraint_validation(self):
+        with pytest.raises(ValueError):
+            BudgetConstraint(feature_index=-1, upper_bound=0.5)
+        with pytest.raises(ValueError):
+            BudgetConstraint(feature_index=0, upper_bound=-0.5)
+
+    def test_objective_length_validated(self, setup):
+        evaluator, _, budgets = setup
+        with pytest.raises(ValueError):
+            HardConstraintRecommender(evaluator, np.array([1.0]), budgets)

@@ -1,0 +1,126 @@
+"""Tests for the synthetic benchmark data generators (UNI, PWR, COR, ANT)."""
+
+import numpy as np
+import pytest
+
+from repro.data.generators import (
+    SyntheticDatasetSpec,
+    generate_anticorrelated,
+    generate_correlated,
+    generate_dataset,
+    generate_powerlaw,
+    generate_uniform,
+)
+from repro.data.datasets import BENCHMARK_DATASETS, DatasetCatalog, load_benchmark_dataset
+
+
+class TestUniform:
+    def test_shape_and_range(self):
+        data = generate_uniform(500, 6, rng=0)
+        assert data.shape == (500, 6)
+        assert data.min() >= 0.0 and data.max() <= 1.0
+
+    def test_reproducible(self):
+        assert np.array_equal(generate_uniform(50, 3, rng=1), generate_uniform(50, 3, rng=1))
+
+    def test_roughly_uniform_mean(self):
+        data = generate_uniform(20_000, 2, rng=0)
+        assert abs(data.mean() - 0.5) < 0.02
+
+    def test_invalid_shape_raises(self):
+        with pytest.raises(ValueError):
+            generate_uniform(0, 3)
+        with pytest.raises(ValueError):
+            generate_uniform(10, 0)
+
+
+class TestPowerlaw:
+    def test_shape_and_range(self):
+        data = generate_powerlaw(500, 4, rng=0)
+        assert data.shape == (500, 4)
+        assert data.min() >= 0.0 and data.max() <= 1.0
+
+    def test_right_skewed(self):
+        data = generate_powerlaw(20_000, 1, rng=0)
+        # Power-law values, rescaled: most mass near the bottom of the range.
+        assert np.median(data) < 0.1
+
+    def test_invalid_alpha_raises(self):
+        with pytest.raises(ValueError):
+            generate_powerlaw(100, 2, alpha=1.0)
+
+
+class TestCorrelated:
+    def test_positive_feature_correlation(self):
+        data = generate_correlated(10_000, 4, rng=0)
+        correlations = np.corrcoef(data, rowvar=False)
+        off_diagonal = correlations[~np.eye(4, dtype=bool)]
+        assert off_diagonal.mean() > 0.4
+
+    def test_range(self):
+        data = generate_correlated(1000, 3, rng=0)
+        assert data.min() >= 0.0 and data.max() <= 1.0
+
+    def test_invalid_strength_raises(self):
+        with pytest.raises(ValueError):
+            generate_correlated(100, 3, correlation_strength=1.5)
+
+
+class TestAnticorrelated:
+    def test_negative_feature_correlation(self):
+        data = generate_anticorrelated(10_000, 4, rng=0)
+        correlations = np.corrcoef(data, rowvar=False)
+        off_diagonal = correlations[~np.eye(4, dtype=bool)]
+        assert off_diagonal.mean() < -0.05
+
+    def test_range(self):
+        data = generate_anticorrelated(1000, 3, rng=0)
+        assert data.min() >= 0.0 and data.max() <= 1.0
+
+    def test_invalid_spread_raises(self):
+        with pytest.raises(ValueError):
+            generate_anticorrelated(100, 3, spread=0.0)
+
+
+class TestGenerateDataset:
+    @pytest.mark.parametrize("name", ["UNI", "PWR", "COR", "ANT"])
+    def test_dispatch_by_name(self, name):
+        data = generate_dataset(name, 100, 5, rng=0)
+        assert data.shape == (100, 5)
+
+    def test_case_insensitive(self):
+        assert generate_dataset("uni", 10, 2, rng=0).shape == (10, 2)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            generate_dataset("ZIPF", 10, 2)
+
+
+class TestSyntheticDatasetSpec:
+    def test_generate_matches_function(self):
+        spec = SyntheticDatasetSpec("UNI", 50, 3, seed=5)
+        assert np.array_equal(spec.generate(), generate_uniform(50, 3, rng=5))
+
+    def test_invalid_distribution_raises(self):
+        with pytest.raises(ValueError):
+            SyntheticDatasetSpec("XYZ", 10, 2)
+
+
+class TestDatasetCatalog:
+    def test_all_benchmark_names_load(self):
+        catalog = DatasetCatalog(num_tuples=100, num_features=4, seed=0)
+        for name in BENCHMARK_DATASETS:
+            data = catalog.get(name)
+            assert data.shape == (100, 4)
+
+    def test_caching_returns_same_object(self):
+        catalog = DatasetCatalog(num_tuples=50, num_features=3, seed=0)
+        assert catalog.get("UNI") is catalog.get("UNI")
+
+    def test_load_benchmark_dataset_nba_default_size(self):
+        data = load_benchmark_dataset("NBA", num_tuples=200, num_features=6, rng=0)
+        assert data.shape == (200, 6)
+
+    def test_load_unknown_raises(self):
+        with pytest.raises(ValueError):
+            load_benchmark_dataset("MOVIES")

@@ -1,0 +1,148 @@
+"""Smoke tests for the experiment harness (tiny scales, shape assertions only)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import (
+    ExperimentScale,
+    build_evaluator,
+    default_profile,
+    format_table,
+    random_package_vectors,
+    random_preference_directions,
+)
+from repro.experiments.fig4_sampling_example import run_sampling_example, summarise as fig4_rows
+from repro.experiments.fig5_constraint_checking import (
+    run_constraint_checking_experiment,
+    summarise as fig5_rows,
+)
+from repro.experiments.fig6_overall_time import run_overall_time_experiment
+from repro.experiments.fig7_maintenance import (
+    run_gamma_sweep,
+    run_maintenance_experiment,
+)
+from repro.experiments.fig8_elicitation import run_elicitation_effectiveness
+from repro.experiments.sample_quality import run_sample_quality_study
+
+
+SMOKE = ExperimentScale.smoke()
+
+
+class TestHarness:
+    def test_scales(self):
+        assert ExperimentScale.paper().num_tuples == 100_000
+        assert SMOKE.num_tuples == 200
+
+    def test_default_profile_covers_all_features(self):
+        profile = default_profile(6)
+        assert profile.num_features == 6
+
+    def test_build_evaluator(self):
+        evaluator = build_evaluator("UNI", SMOKE)
+        assert evaluator.catalog.num_items == SMOKE.num_tuples
+        assert evaluator.num_features == SMOKE.num_features
+
+    def test_random_package_vectors(self):
+        evaluator = build_evaluator("UNI", SMOKE)
+        packages, vectors = random_package_vectors(evaluator, 20, rng=0)
+        assert len(packages) == 20
+        assert vectors.shape == (20, SMOKE.num_features)
+
+    def test_random_preferences_consistent_with_hidden_utility(self):
+        evaluator = build_evaluator("UNI", SMOKE)
+        _, vectors = random_package_vectors(evaluator, 30, rng=0)
+        hidden = np.array([0.5, -0.5, 0.2])
+        directions = random_preference_directions(vectors, 25, rng=0, consistent_with=hidden)
+        assert directions.shape == (25, 3)
+        assert np.all(directions @ hidden >= -1e-12)
+
+    def test_random_preferences_require_two_packages(self):
+        with pytest.raises(ValueError):
+            random_preference_directions(np.ones((1, 3)), 5)
+
+    def test_format_table(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", 3.0]])
+        assert "a" in text and "x" in text
+        assert len(text.splitlines()) == 4
+
+
+class TestFigureExperimentsSmoke:
+    def test_fig4(self):
+        results = run_sampling_example(
+            num_valid_samples=20, num_packages=100, num_preferences=2,
+            scale=SMOKE, seed=0,
+        )
+        assert set(results) == {"RS", "IS", "MS"}
+        for entry in results.values():
+            assert entry.valid_samples == 20
+        assert len(fig4_rows(results)) == 3
+
+    def test_fig5(self):
+        results = run_constraint_checking_experiment(
+            feature_values=(3,), sample_values=(30,), gaussian_values=(1,),
+            scale=SMOKE, seed=0,
+        )
+        assert set(results) == {"features", "samples", "gaussians"}
+        for points in results.values():
+            for point in points:
+                assert point.naive_evaluations >= point.pruned_evaluations
+        assert len(fig5_rows(results)) == 3
+
+    def test_fig6(self):
+        points = run_overall_time_experiment(
+            datasets=("UNI",), samplers=("RS", "MS"),
+            sample_counts=(20,), feature_counts=(2,),
+            k=2, num_preferences=4, topk_sample_budget=3,
+            scale=SMOKE, seed=0,
+        )
+        assert len(points) == 4
+        for point in points:
+            if not point.skipped:
+                assert point.total_seconds > 0
+
+    def test_fig6_importance_skipped_in_high_dimensions(self):
+        points = run_overall_time_experiment(
+            datasets=("UNI",), samplers=("IS",),
+            sample_counts=(), feature_counts=(7,),
+            k=2, num_preferences=4, topk_sample_budget=2,
+            scale=SMOKE, seed=0,
+        )
+        assert len(points) == 1
+        assert points[0].skipped
+
+    def test_fig7_buckets(self):
+        buckets = run_maintenance_experiment(
+            num_samples=200, num_preferences=30, scale=SMOKE, seed=0
+        )
+        assert sum(b.count for b in buckets) == 30
+        for bucket in buckets:
+            if bucket.count:
+                assert bucket.naive_accesses == 200
+
+    def test_fig7_gamma_sweep(self):
+        points = run_gamma_sweep(
+            gammas=(0.0, 0.05), num_samples=200, num_preferences=20,
+            scale=SMOKE, seed=0,
+        )
+        assert len(points) == 2
+        for point in points:
+            assert point.hybrid_cost_ratio > 0
+            assert point.ta_cost_ratio > 0
+
+    def test_fig8(self):
+        points = run_elicitation_effectiveness(
+            feature_counts=(2,), num_users=2, num_players=60,
+            k=2, num_random=2, num_samples=25, max_package_size=2,
+            max_rounds=4, seed=0,
+        )
+        assert len(points) == 1
+        assert points[0].mean_clicks <= 4
+
+    def test_sample_quality(self):
+        result = run_sample_quality_study(
+            k=3, num_samples=80, num_preferences=10, num_features=3,
+            num_gaussians=1, num_packages=60, scale=SMOKE, seed=0,
+        )
+        assert result.top_lists
+        assert 0.0 <= result.sampler_agreement <= 1.0
+        assert 0.0 <= result.semantics_agreement <= 1.0

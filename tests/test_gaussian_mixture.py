@@ -1,0 +1,116 @@
+"""Tests for the Gaussian mixture prior over weight vectors."""
+
+import numpy as np
+import pytest
+from scipy.stats import multivariate_normal
+
+from repro.sampling.gaussian_mixture import GaussianMixture
+
+
+class TestConstruction:
+    def test_scalar_covariance(self):
+        mixture = GaussianMixture(np.zeros((2, 3)), 0.5)
+        assert mixture.num_components == 2
+        assert mixture.dimension == 3
+        assert np.allclose(mixture.covariances[0], np.eye(3) * 0.5)
+
+    def test_diagonal_covariance(self):
+        mixture = GaussianMixture(np.zeros((2, 2)), np.array([[0.1, 0.2], [0.3, 0.4]]))
+        assert np.allclose(mixture.covariances[1], np.diag([0.3, 0.4]))
+
+    def test_full_covariance(self):
+        covariances = np.stack([np.eye(2) * 0.2, np.eye(2) * 0.4])
+        mixture = GaussianMixture(np.zeros((2, 2)), covariances)
+        assert np.allclose(mixture.covariances, covariances)
+
+    def test_weights_normalised(self):
+        mixture = GaussianMixture(np.zeros((2, 2)), 0.2, weights=np.array([2.0, 6.0]))
+        assert np.allclose(mixture.weights, [0.25, 0.75])
+
+    def test_invalid_weights_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianMixture(np.zeros((2, 2)), 0.2, weights=np.array([-1.0, 2.0]))
+        with pytest.raises(ValueError):
+            GaussianMixture(np.zeros((2, 2)), 0.2, weights=np.array([0.0, 0.0]))
+
+    def test_invalid_covariance_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianMixture(np.zeros((2, 2)), -1.0)
+        with pytest.raises(ValueError):
+            GaussianMixture(np.zeros((2, 2)), np.ones((3, 2)))
+
+    def test_default_prior_shapes(self):
+        prior = GaussianMixture.default_prior(5, num_components=3, rng=0)
+        assert prior.num_components == 3
+        assert prior.dimension == 5
+        # First component always centred at the origin.
+        assert np.allclose(prior.means[0], 0.0)
+
+    def test_default_prior_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            GaussianMixture.default_prior(0)
+        with pytest.raises(ValueError):
+            GaussianMixture.default_prior(2, num_components=0)
+        with pytest.raises(ValueError):
+            GaussianMixture.default_prior(2, spread=0.0)
+
+    def test_isotropic_constructor(self):
+        mixture = GaussianMixture.isotropic(np.array([0.1, 0.2]), 0.3)
+        assert mixture.num_components == 1
+        assert np.allclose(mixture.means[0], [0.1, 0.2])
+
+
+class TestDensity:
+    def test_single_component_matches_scipy(self):
+        mixture = GaussianMixture(np.zeros((1, 2)), 0.25)
+        reference = multivariate_normal(mean=[0, 0], cov=np.eye(2) * 0.25)
+        point = np.array([0.3, -0.4])
+        assert mixture.pdf(point) == pytest.approx(reference.pdf(point))
+        assert mixture.logpdf(point) == pytest.approx(reference.logpdf(point))
+
+    def test_mixture_density_is_weighted_sum(self):
+        means = np.array([[0.0, 0.0], [0.5, 0.5]])
+        mixture = GaussianMixture(means, 0.1, weights=np.array([0.3, 0.7]))
+        point = np.array([0.2, 0.2])
+        expected = 0.3 * multivariate_normal(means[0], np.eye(2) * 0.1).pdf(point) + \
+            0.7 * multivariate_normal(means[1], np.eye(2) * 0.1).pdf(point)
+        assert mixture.pdf(point) == pytest.approx(expected)
+
+    def test_pdf_batched_shape(self):
+        mixture = GaussianMixture.default_prior(3, rng=0)
+        points = np.zeros((5, 3))
+        assert mixture.pdf(points).shape == (5,)
+        assert mixture.logpdf(points).shape == (5,)
+
+    def test_logpdf_consistent_with_pdf(self):
+        mixture = GaussianMixture.default_prior(2, num_components=2, rng=0)
+        points = np.random.default_rng(0).normal(size=(20, 2))
+        assert np.allclose(np.exp(mixture.logpdf(points)), mixture.pdf(points))
+
+    def test_responsibilities_sum_to_one(self):
+        mixture = GaussianMixture.default_prior(2, num_components=3, rng=0)
+        points = np.random.default_rng(1).normal(size=(10, 2))
+        responsibilities = mixture.responsibilities(points)
+        assert responsibilities.shape == (10, 3)
+        assert np.allclose(responsibilities.sum(axis=1), 1.0)
+
+
+class TestSampling:
+    def test_sample_shape(self):
+        mixture = GaussianMixture.default_prior(4, rng=0)
+        assert mixture.sample(100, rng=0).shape == (100, 4)
+        assert mixture.sample(0, rng=0).shape == (0, 4)
+
+    def test_sample_negative_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianMixture.default_prior(2).sample(-1)
+
+    def test_sample_mean_approximates_mixture_mean(self):
+        means = np.array([[0.4, 0.4], [-0.4, -0.4]])
+        mixture = GaussianMixture(means, 0.01, weights=np.array([0.5, 0.5]))
+        samples = mixture.sample(20_000, rng=0)
+        assert np.allclose(samples.mean(axis=0), [0.0, 0.0], atol=0.02)
+
+    def test_sample_reproducible(self):
+        mixture = GaussianMixture.default_prior(3, rng=0)
+        assert np.array_equal(mixture.sample(10, rng=5), mixture.sample(10, rng=5))

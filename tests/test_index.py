@@ -1,0 +1,155 @@
+"""Tests for the weight-space grid and quad-tree indexes."""
+
+import numpy as np
+import pytest
+
+from repro.index.grid import GridCell, GridTooLargeError, WeightSpaceGrid
+from repro.index.quadtree import QuadTree
+
+
+class TestGridCell:
+    def test_center_and_dimension(self):
+        cell = GridCell((0.0, 0.0), (1.0, 2.0))
+        assert np.allclose(cell.center, [0.5, 1.0])
+        assert cell.dimension == 2
+
+    def test_max_min_dot(self):
+        cell = GridCell((-1.0, -1.0), (1.0, 1.0))
+        direction = np.array([1.0, -2.0])
+        assert cell.max_dot(direction) == pytest.approx(3.0)
+        assert cell.min_dot(direction) == pytest.approx(-3.0)
+
+    def test_can_satisfy(self):
+        cell = GridCell((0.1, 0.1), (0.5, 0.5))
+        assert cell.can_satisfy(np.array([1.0, 1.0]))
+        assert not cell.can_satisfy(np.array([-1.0, -1.0]))
+
+    def test_contains(self):
+        cell = GridCell((0.0, 0.0), (1.0, 1.0))
+        assert cell.contains(np.array([0.5, 0.5]))
+        assert not cell.contains(np.array([1.5, 0.5]))
+
+    def test_split_produces_2_pow_d_children(self):
+        cell = GridCell((0.0, 0.0), (1.0, 1.0))
+        children = cell.split()
+        assert len(children) == 4
+        # Children partition the parent: their centres are inside the parent.
+        for child in children:
+            assert cell.contains(child.center)
+
+
+class TestWeightSpaceGrid:
+    def test_cell_count(self):
+        grid = WeightSpaceGrid(2, cells_per_dim=3)
+        assert len(grid) == 9
+        assert len(grid.cells) == 9
+
+    def test_too_large_raises(self):
+        with pytest.raises(GridTooLargeError):
+            WeightSpaceGrid(10, cells_per_dim=10)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            WeightSpaceGrid(0)
+        with pytest.raises(ValueError):
+            WeightSpaceGrid(2, cells_per_dim=0)
+        with pytest.raises(ValueError):
+            WeightSpaceGrid(2, bounds=[(0.0, 1.0)])
+        with pytest.raises(ValueError):
+            WeightSpaceGrid(1, bounds=[(1.0, 0.0)])
+
+    def test_paper_figure3_example(self):
+        """Figure 3: a 3×3 grid loses exactly the top-right cell for that constraint.
+
+        The constraint used in the figure invalidates weight vectors above a
+        line through the upper-right region; with direction d = (-1, -1) scaled
+        to cut off only the top-right cell, eight cells remain.
+        """
+        grid = WeightSpaceGrid(2, cells_per_dim=3)
+        # Valid region: w · d >= 0 with d chosen so only cells whose best corner
+        # has w1 + w2 > 4/3 are eliminated (top-right cell spans [1/3, 1]^2).
+        direction = np.array([-1.0, -1.0]) / (4.0 / 3.0)
+        removed = grid.prune(direction + np.array([1e-9, 1e-9]))
+        assert removed >= 1
+        assert grid.feasible_fraction() < 1.0
+
+    def test_prune_keeps_satisfiable_cells(self):
+        grid = WeightSpaceGrid(2, cells_per_dim=4)
+        removed = grid.prune(np.array([1.0, 0.0]))
+        # Only cells whose entire w1 range is strictly negative are removed
+        # (the [-1, -0.5] column); cells touching w1 = 0 can still satisfy.
+        assert removed == 4
+        for cell in grid.active_cells:
+            assert cell.can_satisfy(np.array([1.0, 0.0]))
+
+    def test_approximate_center_moves_into_valid_region(self):
+        grid = WeightSpaceGrid(2, cells_per_dim=6)
+        assert np.allclose(grid.approximate_center(), [0.0, 0.0])
+        grid.prune(np.array([1.0, 0.0]))
+        center = grid.approximate_center()
+        assert center[0] > 0.1
+
+    def test_approximate_center_when_everything_pruned(self):
+        grid = WeightSpaceGrid(1, cells_per_dim=2, bounds=[(0.0, 1.0)])
+        grid.prune(np.array([-1.0]))
+        grid.active_cells = []  # simulate contradictory feedback
+        assert np.allclose(grid.approximate_center(), [0.5])
+
+    def test_prune_all_accumulates(self):
+        grid = WeightSpaceGrid(2, cells_per_dim=4)
+        removed = grid.prune_all([np.array([1.0, 0.0]), np.array([0.0, 1.0])])
+        # 4 cells fall to the first constraint, 3 more to the second.
+        assert removed == 7
+        assert grid.feasible_fraction() == pytest.approx(9 / 16)
+
+
+class TestQuadTree:
+    def test_leaf_count(self):
+        tree = QuadTree(2, depth=2)
+        assert len(tree.leaves(active_only=False)) == 16
+
+    def test_depth_zero_single_leaf(self):
+        tree = QuadTree(3, depth=0)
+        assert len(tree.leaves()) == 1
+        assert tree.root.is_leaf
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            QuadTree(0)
+        with pytest.raises(ValueError):
+            QuadTree(2, depth=-1)
+        with pytest.raises(ValueError):
+            QuadTree(8, depth=5)
+
+    def test_prune_matches_flat_grid_semantics(self):
+        tree = QuadTree(2, depth=2)
+        direction = np.array([1.0, 0.0])
+        pruned = tree.prune(direction)
+        # Only the leftmost column of leaves (w1 strictly negative) is pruned.
+        assert pruned == 4
+        for leaf in tree.leaves():
+            assert leaf.cell.can_satisfy(direction)
+
+    def test_prune_all_and_active_fraction(self):
+        tree = QuadTree(2, depth=2)
+        tree.prune_all([np.array([1.0, 0.0]), np.array([0.0, 1.0])])
+        assert tree.active_fraction() == pytest.approx(9 / 16)
+
+    def test_approximate_center_in_valid_region(self):
+        tree = QuadTree(2, depth=3)
+        tree.prune(np.array([0.0, 1.0]))
+        center = tree.approximate_center()
+        assert center[1] > 0.1
+
+    def test_center_falls_back_when_all_pruned(self):
+        tree = QuadTree(1, depth=1, bounds=[(0.0, 1.0)])
+        for leaf in tree.leaves():
+            leaf.active = False
+        assert np.allclose(tree.approximate_center(), [0.5])
+
+    def test_subtree_pruning_counts_leaves_once(self):
+        tree = QuadTree(2, depth=2)
+        first = tree.prune(np.array([1.0, 0.0]))
+        second = tree.prune(np.array([1.0, 0.0]))
+        assert first == 4
+        assert second == 0  # already pruned leaves are not double counted

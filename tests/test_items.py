@@ -1,0 +1,103 @@
+"""Tests for repro.core.items.ItemCatalog."""
+
+import numpy as np
+import pytest
+
+from repro.core.items import ItemCatalog
+
+
+class TestConstruction:
+    def test_basic_shape(self, small_random_catalog):
+        assert small_random_catalog.num_items == 30
+        assert small_random_catalog.num_features == 4
+        assert len(small_random_catalog) == 30
+
+    def test_default_names_and_ids(self):
+        catalog = ItemCatalog(np.ones((3, 2)))
+        assert catalog.feature_names == ["f1", "f2"]
+        assert catalog.item_ids == [0, 1, 2]
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            ItemCatalog(np.array([[-1.0, 0.5]]))
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ValueError):
+            ItemCatalog(np.zeros((0, 3)))
+
+    def test_mismatched_names_rejected(self):
+        with pytest.raises(ValueError):
+            ItemCatalog(np.ones((2, 2)), feature_names=["only-one"])
+
+    def test_mismatched_ids_rejected(self):
+        with pytest.raises(ValueError):
+            ItemCatalog(np.ones((2, 2)), item_ids=[1])
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            ItemCatalog(np.ones(5))
+
+
+class TestNullHandling:
+    @pytest.fixture
+    def catalog_with_nulls(self):
+        features = np.array([[1.0, np.nan], [0.5, 2.0], [np.nan, 3.0]])
+        return ItemCatalog(features)
+
+    def test_null_mask(self, catalog_with_nulls):
+        assert catalog_with_nulls.has_nulls()
+        assert catalog_with_nulls.null_mask.sum() == 2
+
+    def test_filled_replaces_nulls(self, catalog_with_nulls):
+        filled = catalog_with_nulls.filled(0.0)
+        assert not np.isnan(filled).any()
+        assert filled[0, 1] == 0.0
+
+    def test_feature_column_fills_nulls(self, catalog_with_nulls):
+        column = catalog_with_nulls.feature_column(0, fill_null=9.0)
+        assert column[2] == 9.0
+
+    def test_feature_max_ignores_nulls(self, catalog_with_nulls):
+        assert np.allclose(catalog_with_nulls.feature_max(), [1.0, 3.0])
+
+    def test_feature_min_ignores_nulls(self, catalog_with_nulls):
+        assert np.allclose(catalog_with_nulls.feature_min(), [0.5, 2.0])
+
+    def test_argsort_puts_nulls_last(self, catalog_with_nulls):
+        descending = catalog_with_nulls.argsort_feature(0, descending=True)
+        assert descending[-1] == 2
+        ascending = catalog_with_nulls.argsort_feature(0, descending=False)
+        assert ascending[-1] == 2
+
+
+class TestAccessors:
+    def test_feature_values_row(self, small_random_catalog):
+        row = small_random_catalog.feature_values(3)
+        assert row.shape == (4,)
+        assert np.array_equal(row, small_random_catalog.features[3])
+
+    def test_argsort_feature_descending(self, small_random_catalog):
+        order = small_random_catalog.argsort_feature(1, descending=True)
+        values = small_random_catalog.features[order, 1]
+        assert np.all(np.diff(values) <= 0)
+
+    def test_argsort_feature_ascending(self, small_random_catalog):
+        order = small_random_catalog.argsort_feature(1, descending=False)
+        values = small_random_catalog.features[order, 1]
+        assert np.all(np.diff(values) >= 0)
+
+
+class TestSlicing:
+    def test_subset_preserves_ids(self):
+        catalog = ItemCatalog(np.arange(12.0).reshape(4, 3), item_ids=["a", "b", "c", "d"])
+        subset = catalog.subset([1, 3])
+        assert subset.num_items == 2
+        assert subset.item_ids == ["b", "d"]
+        assert np.array_equal(subset.features[0], catalog.features[1])
+
+    def test_select_features(self):
+        catalog = ItemCatalog(np.arange(12.0).reshape(4, 3), feature_names=["a", "b", "c"])
+        selected = catalog.select_features([2, 0])
+        assert selected.num_features == 2
+        assert selected.feature_names == ["c", "a"]
+        assert np.array_equal(selected.features[:, 0], catalog.features[:, 2])

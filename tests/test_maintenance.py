@@ -1,0 +1,164 @@
+"""Tests for sample maintenance (§3.4, Algorithm 1, Figure 7)."""
+
+import numpy as np
+import pytest
+
+from repro.sampling.base import ConstraintSet, SamplePool
+from repro.sampling.gaussian_mixture import GaussianMixture
+from repro.sampling.maintenance import (
+    HybridMaintenance,
+    NaiveMaintenance,
+    SampleMaintainer,
+    ThresholdMaintenance,
+)
+from repro.sampling.rejection import RejectionSampler
+
+
+@pytest.fixture
+def sample_pool_matrix() -> np.ndarray:
+    rng = np.random.default_rng(3)
+    return rng.uniform(-1, 1, size=(500, 4))
+
+
+def brute_force_violators(samples: np.ndarray, direction: np.ndarray) -> np.ndarray:
+    return np.where(samples @ direction < 0)[0]
+
+
+class TestNaiveMaintenance:
+    def test_finds_exact_violators(self, sample_pool_matrix):
+        direction = np.array([0.5, -0.2, 0.1, 0.3])
+        result = NaiveMaintenance().find_violations(sample_pool_matrix, direction)
+        assert np.array_equal(
+            result.violating_indices, brute_force_violators(sample_pool_matrix, direction)
+        )
+
+    def test_accesses_every_sample(self, sample_pool_matrix):
+        result = NaiveMaintenance().find_violations(sample_pool_matrix, np.ones(4))
+        assert result.accesses == sample_pool_matrix.shape[0]
+        assert result.strategy == "naive"
+
+
+class TestThresholdMaintenance:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_naive_on_random_directions(self, sample_pool_matrix, seed):
+        rng = np.random.default_rng(seed)
+        direction = rng.normal(size=4)
+        ta = ThresholdMaintenance()
+        ta.prepare(sample_pool_matrix)
+        result = ta.find_violations(sample_pool_matrix, direction)
+        assert np.array_equal(
+            result.violating_indices, brute_force_violators(sample_pool_matrix, direction)
+        )
+
+    def test_early_termination_when_no_violators(self, sample_pool_matrix):
+        # Every sample has all coordinates in [-1, 1]; the direction below is
+        # satisfied by construction (samples shifted to be positive).
+        positive_pool = np.abs(sample_pool_matrix)
+        direction = np.ones(4)  # w · d >= 0 for all non-negative samples
+        ta = ThresholdMaintenance()
+        ta.prepare(positive_pool)
+        result = ta.find_violations(positive_pool, direction)
+        assert result.num_violations == 0
+        # TA should prove the absence of violators without touching every sample.
+        assert result.accesses < positive_pool.shape[0]
+
+    def test_zero_direction_returns_nothing(self, sample_pool_matrix):
+        ta = ThresholdMaintenance()
+        ta.prepare(sample_pool_matrix)
+        result = ta.find_violations(sample_pool_matrix, np.zeros(4))
+        assert result.num_violations == 0
+        assert result.accesses == 0
+
+    def test_prepare_reused_across_directions(self, sample_pool_matrix):
+        ta = ThresholdMaintenance()
+        ta.prepare(sample_pool_matrix)
+        first = ta.find_violations(sample_pool_matrix, np.array([1.0, 0.0, 0.0, 0.0]))
+        second = ta.find_violations(sample_pool_matrix, np.array([0.0, -1.0, 0.0, 0.0]))
+        assert first.strategy == "ta"
+        assert second.num_violations > 0
+
+
+class TestHybridMaintenance:
+    @pytest.mark.parametrize("gamma", [0.0, 0.025, 0.1])
+    def test_matches_naive_for_all_gammas(self, sample_pool_matrix, gamma):
+        rng = np.random.default_rng(7)
+        hybrid = HybridMaintenance(gamma)
+        hybrid.prepare(sample_pool_matrix)
+        for _ in range(5):
+            direction = rng.normal(size=4)
+            result = hybrid.find_violations(sample_pool_matrix, direction)
+            assert np.array_equal(
+                result.violating_indices,
+                brute_force_violators(sample_pool_matrix, direction),
+            )
+
+    def test_falls_back_when_many_violations(self, sample_pool_matrix):
+        # A direction violated by roughly half the pool forces the fall-back.
+        direction = np.array([1.0, 0.0, 0.0, 0.0])
+        hybrid = HybridMaintenance(gamma=0.0)
+        hybrid.prepare(sample_pool_matrix)
+        result = hybrid.find_violations(sample_pool_matrix, direction)
+        assert result.strategy == "hybrid"
+        assert result.fell_back
+
+    def test_negative_gamma_rejected(self):
+        with pytest.raises(ValueError):
+            HybridMaintenance(gamma=-0.1)
+
+
+class TestSampleMaintainer:
+    def test_keeps_pool_size_with_replacement(self, two_dim_prior):
+        constraints = ConstraintSet(np.array([[1.0, 0.0]]))
+        sampler = RejectionSampler(two_dim_prior, rng=0)
+        pool = sampler.sample(100, ConstraintSet.empty(2))
+        maintainer = SampleMaintainer(NaiveMaintenance(), sampler)
+        new_pool, result = maintainer.apply_feedback(
+            pool, np.array([1.0, 0.0]), updated_constraints=constraints
+        )
+        assert new_pool.size == 100
+        assert result.num_violations > 0
+        assert np.all(constraints.valid_mask(new_pool.samples))
+
+    def test_drop_only_mode(self, two_dim_prior):
+        sampler = RejectionSampler(two_dim_prior, rng=0)
+        pool = sampler.sample(100, ConstraintSet.empty(2))
+        maintainer = SampleMaintainer(NaiveMaintenance(), sampler=None)
+        new_pool, result = maintainer.apply_feedback(pool, np.array([0.0, 1.0]))
+        assert new_pool.size == 100 - result.num_violations
+
+    def test_no_violations_returns_same_pool(self, two_dim_prior):
+        sampler = RejectionSampler(two_dim_prior, rng=0)
+        constraints = ConstraintSet(np.array([[1.0, 0.0]]))
+        pool = sampler.sample(50, constraints)
+        maintainer = SampleMaintainer(NaiveMaintenance(), sampler)
+        new_pool, result = maintainer.apply_feedback(
+            pool, np.array([1.0, 0.0]), updated_constraints=constraints
+        )
+        assert result.num_violations == 0
+        assert new_pool is pool
+
+    def test_replacement_requires_constraints(self, two_dim_prior):
+        sampler = RejectionSampler(two_dim_prior, rng=0)
+        pool = sampler.sample(50, ConstraintSet.empty(2))
+        maintainer = SampleMaintainer(NaiveMaintenance(), sampler)
+        with pytest.raises(ValueError):
+            maintainer.apply_feedback(pool, np.array([1.0, 0.0]))
+
+    def test_maintained_pool_matches_lemma1_distribution(self, two_dim_prior):
+        """Maintenance preserves the truncated-prior distribution (Lemma 1).
+
+        Keeping survivors and topping up with fresh constrained samples should
+        give the same distribution as sampling from scratch under the full
+        constraint set; we compare means loosely.
+        """
+        sampler = RejectionSampler(two_dim_prior, rng=0)
+        constraints = ConstraintSet(np.array([[1.0, 0.0]]))
+        pool = sampler.sample(3000, ConstraintSet.empty(2))
+        maintainer = SampleMaintainer(NaiveMaintenance(), sampler)
+        maintained, _ = maintainer.apply_feedback(
+            pool, np.array([1.0, 0.0]), updated_constraints=constraints
+        )
+        fresh = RejectionSampler(two_dim_prior, rng=99).sample(3000, constraints)
+        assert np.allclose(
+            maintained.samples.mean(axis=0), fresh.samples.mean(axis=0), atol=0.06
+        )

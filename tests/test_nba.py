@@ -1,0 +1,59 @@
+"""Tests for the synthetic NBA career-statistics dataset substitute."""
+
+import numpy as np
+import pytest
+
+from repro.data.nba import NBA_FEATURES, NBA_NUM_PLAYERS, generate_nba_dataset
+
+
+class TestGenerateNbaDataset:
+    def test_default_shape_matches_paper(self):
+        data = generate_nba_dataset(rng=0)
+        assert data.shape == (NBA_NUM_PLAYERS, 10)
+
+    def test_values_normalised(self):
+        data = generate_nba_dataset(500, 10, rng=0)
+        assert data.min() >= 0.0 and data.max() <= 1.0
+
+    def test_feature_names_returned_when_requested(self):
+        data, names = generate_nba_dataset(100, 6, rng=0, return_feature_names=True)
+        assert data.shape == (100, 6)
+        assert len(names) == 6
+        assert all(name in NBA_FEATURES for name in names)
+
+    def test_reproducible_with_seed(self):
+        assert np.array_equal(
+            generate_nba_dataset(200, 8, rng=3), generate_nba_dataset(200, 8, rng=3)
+        )
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(
+            generate_nba_dataset(200, 8, rng=3), generate_nba_dataset(200, 8, rng=4)
+        )
+
+    def test_counting_stats_are_positively_correlated(self):
+        # Career totals driven by a shared latent factor should correlate.
+        rng = np.random.default_rng(0)
+        data, names = generate_nba_dataset(3000, 17, rng=rng, return_feature_names=True)
+        counting = [i for i, n in enumerate(names) if not n.endswith("_pct")]
+        correlations = np.corrcoef(data[:, counting], rowvar=False)
+        off_diagonal = correlations[~np.eye(len(counting), dtype=bool)]
+        assert off_diagonal.mean() > 0.5
+
+    def test_counting_stats_are_right_skewed(self):
+        data, names = generate_nba_dataset(3000, 17, rng=1, return_feature_names=True)
+        points_column = data[:, names.index("points")]
+        # Most players have short careers: the median is well below the mean scale.
+        assert np.median(points_column) < np.mean(points_column)
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError):
+            generate_nba_dataset(0, 5)
+        with pytest.raises(ValueError):
+            generate_nba_dataset(10, 0)
+        with pytest.raises(ValueError):
+            generate_nba_dataset(10, len(NBA_FEATURES) + 1)
+
+    def test_all_17_features_available(self):
+        data, names = generate_nba_dataset(100, 17, rng=0, return_feature_names=True)
+        assert sorted(names) == sorted(NBA_FEATURES)

@@ -1,0 +1,142 @@
+"""Tests for the noise model (§7) and package-schema predicates (§7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.items import ItemCatalog
+from repro.core.noise import NoiseModel
+from repro.core.packages import Package
+from repro.core.predicates import (
+    CallablePredicate,
+    MaxCountPredicate,
+    MinCountPredicate,
+    PredicateSet,
+    SizePredicate,
+)
+
+
+class TestNoiseModel:
+    def test_rejection_probability_formula(self):
+        noise = NoiseModel(psi=0.8)
+        assert noise.rejection_probability(0) == 0.0
+        assert noise.rejection_probability(1) == pytest.approx(0.8)
+        assert noise.rejection_probability(2) == pytest.approx(1 - 0.2**2)
+        assert noise.rejection_probability(5) == pytest.approx(1 - 0.2**5)
+
+    def test_noise_free_model(self):
+        noise = NoiseModel(psi=1.0)
+        assert noise.is_noise_free
+        assert noise.should_reject(1)
+        assert not noise.should_reject(0)
+
+    def test_psi_zero_never_rejects(self):
+        noise = NoiseModel(psi=0.0)
+        assert not noise.should_reject(10, rng=0)
+
+    def test_invalid_psi_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseModel(psi=1.2)
+        with pytest.raises(ValueError):
+            NoiseModel(psi=-0.1)
+
+    def test_negative_violations_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseModel(0.5).rejection_probability(-1)
+
+    def test_should_reject_statistics(self):
+        noise = NoiseModel(psi=0.5)
+        rng = np.random.default_rng(0)
+        rejections = sum(noise.should_reject(1, rng) for _ in range(5000))
+        assert 0.45 < rejections / 5000 < 0.55
+
+    def test_corrupt_choice_noise_free_returns_best(self):
+        assert NoiseModel(1.0).corrupt_choice(2, 5, rng=0) == 2
+
+    def test_corrupt_choice_statistics(self):
+        noise = NoiseModel(psi=0.6)
+        rng = np.random.default_rng(1)
+        picks = [noise.corrupt_choice(0, 4, rng) for _ in range(5000)]
+        best_rate = picks.count(0) / len(picks)
+        # best chosen with probability psi + (1-psi)/4 = 0.7
+        assert 0.65 < best_rate < 0.75
+
+    def test_corrupt_choice_validation(self):
+        with pytest.raises(ValueError):
+            NoiseModel(0.5).corrupt_choice(0, 0)
+        with pytest.raises(ValueError):
+            NoiseModel(0.5).corrupt_choice(5, 3)
+
+
+@pytest.fixture
+def predicate_catalog():
+    # Feature 0 encodes a "genre" score; items 0-2 are "novels" (value >= 0.5).
+    features = np.array([[0.9, 0.1], [0.8, 0.2], [0.6, 0.3], [0.1, 0.9], [0.2, 0.8]])
+    return ItemCatalog(features)
+
+
+class TestCountingPredicates:
+    def test_min_count_with_item_list(self, predicate_catalog):
+        predicate = MinCountPredicate(2, matching_items=[0, 1, 2])
+        assert predicate.satisfied_by(Package.of([0, 1, 3]), predicate_catalog)
+        assert not predicate.satisfied_by(Package.of([0, 3, 4]), predicate_catalog)
+
+    def test_min_count_with_condition(self, predicate_catalog):
+        predicate = MinCountPredicate(1, item_condition=lambda values: values[0] >= 0.5)
+        assert predicate.satisfied_by(Package.of([2, 3]), predicate_catalog)
+        assert not predicate.satisfied_by(Package.of([3, 4]), predicate_catalog)
+
+    def test_max_count(self, predicate_catalog):
+        predicate = MaxCountPredicate(1, matching_items=[0, 1, 2])
+        assert predicate.satisfied_by(Package.of([0, 3]), predicate_catalog)
+        assert not predicate.satisfied_by(Package.of([0, 1]), predicate_catalog)
+
+    def test_exactly_one_matching_spec_required(self):
+        with pytest.raises(ValueError):
+            MinCountPredicate(1)
+        with pytest.raises(ValueError):
+            MinCountPredicate(1, matching_items=[0], item_condition=lambda v: True)
+
+    def test_negative_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            MinCountPredicate(-1, matching_items=[0])
+        with pytest.raises(ValueError):
+            MaxCountPredicate(-1, matching_items=[0])
+
+
+class TestOtherPredicates:
+    def test_size_predicate(self, predicate_catalog):
+        predicate = SizePredicate(min_size=2, max_size=3)
+        assert not predicate.satisfied_by(Package.of([0]), predicate_catalog)
+        assert predicate.satisfied_by(Package.of([0, 1]), predicate_catalog)
+        assert not predicate.satisfied_by(Package.of([0, 1, 2, 3]), predicate_catalog)
+
+    def test_size_predicate_validation(self):
+        with pytest.raises(ValueError):
+            SizePredicate(min_size=0)
+        with pytest.raises(ValueError):
+            SizePredicate(min_size=3, max_size=2)
+
+    def test_callable_predicate(self, predicate_catalog):
+        predicate = CallablePredicate(lambda package, catalog: 4 not in package, "no-item-4")
+        assert predicate.satisfied_by(Package.of([0, 1]), predicate_catalog)
+        assert not predicate.satisfied_by(Package.of([4]), predicate_catalog)
+
+    def test_predicate_set_conjunction(self, predicate_catalog):
+        predicates = PredicateSet([
+            MinCountPredicate(1, matching_items=[0, 1, 2]),
+            SizePredicate(min_size=2),
+        ])
+        assert len(predicates) == 2
+        assert predicates.satisfied_by(Package.of([0, 3]), predicate_catalog)
+        assert not predicates.satisfied_by(Package.of([0]), predicate_catalog)
+        assert not predicates.satisfied_by(Package.of([3, 4]), predicate_catalog)
+
+    def test_predicate_set_add_chains(self, predicate_catalog):
+        predicates = PredicateSet().add(SizePredicate(min_size=1)).add(
+            MaxCountPredicate(5, matching_items=[0])
+        )
+        assert len(list(predicates)) == 2
+        assert predicates.satisfied_by(Package.of([0]), predicate_catalog)
+
+    def test_empty_predicate_set_accepts_everything(self, predicate_catalog):
+        assert PredicateSet().satisfied_by(Package.of([4]), predicate_catalog)

@@ -1,0 +1,159 @@
+"""Tests for pairwise preferences, the preference DAG and transitive reduction."""
+
+import numpy as np
+import pytest
+
+from repro.core.packages import Package
+from repro.core.preferences import (
+    Preference,
+    PreferenceCycleError,
+    PreferenceStore,
+)
+
+
+def make_preference(evaluator, preferred_items, other_items):
+    return Preference.from_packages(
+        evaluator, Package.of(preferred_items), Package.of(other_items)
+    )
+
+
+class TestPreference:
+    def test_direction_is_vector_difference(self, paper_example_evaluator):
+        preference = make_preference(paper_example_evaluator, [0, 1], [2])
+        expected = (
+            paper_example_evaluator.vector(Package.of([0, 1]))
+            - paper_example_evaluator.vector(Package.of([2]))
+        )
+        assert np.allclose(preference.direction, expected)
+
+    def test_is_satisfied_by(self, paper_example_evaluator):
+        preference = make_preference(paper_example_evaluator, [0, 1], [2])
+        # w = (0.5, 0.1) ranks p4 above p3 in the paper's example.
+        assert preference.is_satisfied_by(np.array([0.5, 0.1]))
+        # Strongly cost-averse weights prefer the cheap singleton {t3}.
+        assert not preference.is_satisfied_by(np.array([-1.0, 0.0]))
+
+    def test_identical_packages_rejected(self, paper_example_evaluator):
+        with pytest.raises(ValueError):
+            make_preference(paper_example_evaluator, [0], [0])
+
+    def test_from_vectors_uses_placeholders(self):
+        preference = Preference.from_vectors(np.array([0.5, 0.5]), np.array([0.2, 0.1]))
+        assert np.allclose(preference.direction, [0.3, 0.4])
+        assert preference.preferred != preference.other
+
+    def test_from_vectors_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Preference.from_vectors(np.array([0.5]), np.array([0.2, 0.1]))
+
+
+class TestPreferenceStoreBasics:
+    def test_add_and_count(self, paper_example_evaluator):
+        store = PreferenceStore(2)
+        assert store.add(make_preference(paper_example_evaluator, [0, 1], [2]))
+        assert len(store) == 1
+        assert store.num_packages == 2
+
+    def test_dimension_mismatch_rejected(self, paper_example_evaluator):
+        store = PreferenceStore(3)
+        with pytest.raises(ValueError):
+            store.add(make_preference(paper_example_evaluator, [0], [1]))
+
+    def test_invalid_constructor_arguments(self):
+        with pytest.raises(ValueError):
+            PreferenceStore(0)
+        with pytest.raises(ValueError):
+            PreferenceStore(2, on_cycle="ignore")
+
+    def test_click_feedback_generates_pairwise_preferences(self, paper_example_evaluator):
+        store = PreferenceStore(2)
+        presented = [Package.of([0]), Package.of([1]), Package.of([2])]
+        added = store.add_click_feedback(paper_example_evaluator, presented[0], presented)
+        assert len(added) == 2
+        assert len(store) == 2
+
+    def test_satisfies_and_violations(self, paper_example_evaluator):
+        store = PreferenceStore(2)
+        store.add(make_preference(paper_example_evaluator, [0, 1], [2]))
+        store.add(make_preference(paper_example_evaluator, [0, 1], [1]))
+        assert store.satisfies(np.array([0.5, 0.1]))
+        assert store.count_violations(np.array([0.5, 0.1])) == 0
+        assert store.count_violations(np.array([-1.0, -1.0])) > 0
+
+    def test_empty_store_satisfied_by_anything(self):
+        store = PreferenceStore(3)
+        assert store.satisfies(np.array([0.1, -0.2, 0.9]))
+        assert store.directions().shape == (0, 3)
+
+
+class TestCycles:
+    def test_cycle_raises_by_default(self, paper_example_evaluator):
+        store = PreferenceStore(2)
+        store.add(make_preference(paper_example_evaluator, [0], [1]))
+        store.add(make_preference(paper_example_evaluator, [1], [2]))
+        with pytest.raises(PreferenceCycleError):
+            store.add(make_preference(paper_example_evaluator, [2], [0]))
+
+    def test_cycle_dropped_when_configured(self, paper_example_evaluator):
+        store = PreferenceStore(2, on_cycle="drop")
+        store.add(make_preference(paper_example_evaluator, [0], [1]))
+        assert not store.add(make_preference(paper_example_evaluator, [1], [0]))
+        assert store.num_dropped == 1
+        assert len(store) == 1
+
+    def test_self_preference_rejected(self, paper_example_evaluator):
+        store = PreferenceStore(2)
+        preference = make_preference(paper_example_evaluator, [0], [1])
+        bad = Preference(
+            preferred=preference.preferred,
+            other=preference.preferred,
+            preferred_vector=preference.preferred_vector,
+            other_vector=preference.preferred_vector,
+        )
+        with pytest.raises(ValueError):
+            store.add(bad)
+
+
+class TestTransitiveReduction:
+    def test_redundant_edge_removed(self, paper_example_evaluator):
+        store = PreferenceStore(2)
+        store.add(make_preference(paper_example_evaluator, [0], [1]))       # a > b
+        store.add(make_preference(paper_example_evaluator, [1], [2]))       # b > c
+        store.add(make_preference(paper_example_evaluator, [0], [2]))       # a > c (redundant)
+        reduced = store.reduced_preferences()
+        assert len(store) == 3
+        assert len(reduced) == 2
+        edges = {(p.preferred.items, p.other.items) for p in reduced}
+        assert ((0,), (2,)) not in edges
+
+    def test_reduction_preserves_validity_semantics(self, paper_example_evaluator):
+        rng = np.random.default_rng(0)
+        store = PreferenceStore(2)
+        store.add(make_preference(paper_example_evaluator, [0], [1]))
+        store.add(make_preference(paper_example_evaluator, [1], [2]))
+        store.add(make_preference(paper_example_evaluator, [0], [2]))
+        for _ in range(200):
+            w = rng.uniform(-1, 1, 2)
+            assert store.satisfies(w, reduced=True) == store.satisfies(w, reduced=False)
+
+    def test_non_redundant_edges_kept(self, paper_example_evaluator):
+        store = PreferenceStore(2)
+        store.add(make_preference(paper_example_evaluator, [0], [1]))
+        store.add(make_preference(paper_example_evaluator, [0], [2]))
+        assert len(store.reduced_preferences()) == 2
+
+    def test_directions_reduced_flag(self, paper_example_evaluator):
+        store = PreferenceStore(2)
+        store.add(make_preference(paper_example_evaluator, [0], [1]))
+        store.add(make_preference(paper_example_evaluator, [1], [2]))
+        store.add(make_preference(paper_example_evaluator, [0], [2]))
+        assert store.directions(reduced=False).shape[0] == 3
+        assert store.directions(reduced=True).shape[0] == 2
+
+    def test_duplicate_edges_collapsed_in_reduction(self, paper_example_evaluator):
+        store = PreferenceStore(2)
+        preference = make_preference(paper_example_evaluator, [0], [1])
+        store.add(preference)
+        store.add(make_preference(paper_example_evaluator, [0], [1]))
+        assert len(store) == 2
+        assert len(store.reduced_preferences()) == 1

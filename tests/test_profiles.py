@@ -1,0 +1,143 @@
+"""Tests for aggregate feature profiles (Definition 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.items import ItemCatalog
+from repro.core.profiles import AggregateProfile, Aggregation
+
+
+class TestAggregationParse:
+    @pytest.mark.parametrize("name,member", [
+        ("sum", Aggregation.SUM),
+        ("AVG", Aggregation.AVG),
+        ("Min", Aggregation.MIN),
+        ("max", Aggregation.MAX),
+        ("null", Aggregation.NULL),
+    ])
+    def test_parse_strings(self, name, member):
+        assert Aggregation.parse(name) is member
+
+    def test_parse_member_passthrough(self):
+        assert Aggregation.parse(Aggregation.SUM) is Aggregation.SUM
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(ValueError):
+            Aggregation.parse("median")
+
+    def test_parse_wrong_type_raises(self):
+        with pytest.raises(TypeError):
+            Aggregation.parse(42)
+
+
+class TestProfileConstruction:
+    def test_basic(self):
+        profile = AggregateProfile(["sum", "avg"])
+        assert profile.num_features == 2
+        assert profile[0] is Aggregation.SUM
+        assert list(profile) == [Aggregation.SUM, Aggregation.AVG]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AggregateProfile([])
+
+    def test_all_null_rejected(self):
+        with pytest.raises(ValueError):
+            AggregateProfile(["null", "null"])
+
+    def test_uniform_constructor(self):
+        profile = AggregateProfile.uniform(3, "max")
+        assert all(a is Aggregation.MAX for a in profile)
+
+    def test_from_mapping(self):
+        profile = AggregateProfile.from_mapping(3, {0: "sum", 2: "avg"})
+        assert profile.aggregations == (Aggregation.SUM, Aggregation.NULL, Aggregation.AVG)
+
+    def test_from_mapping_out_of_range(self):
+        with pytest.raises(ValueError):
+            AggregateProfile.from_mapping(2, {5: "sum"})
+
+    def test_equality_and_hash(self):
+        assert AggregateProfile(["sum", "avg"]) == AggregateProfile(["sum", "avg"])
+        assert hash(AggregateProfile(["sum"])) == hash(AggregateProfile(["sum"]))
+        assert AggregateProfile(["sum", "avg"]) != AggregateProfile(["avg", "sum"])
+
+    def test_active_features_excludes_null(self):
+        profile = AggregateProfile(["sum", "null", "avg"])
+        assert profile.active_features() == [0, 2]
+
+    def test_mismatched_feature_names_rejected(self):
+        with pytest.raises(ValueError):
+            AggregateProfile(["sum"], feature_names=["a", "b"])
+
+    def test_describe_mentions_active_features(self):
+        profile = AggregateProfile(["sum", "null"], feature_names=["cost", "skip"])
+        described = profile.describe()
+        assert "sum(cost)" in described
+        assert "skip" not in described
+
+
+class TestAggregate:
+    def test_paper_definition_semantics(self):
+        """sum/avg/min/max per Definition 1, avg divides by |p|."""
+        profile = AggregateProfile(["sum", "avg", "min", "max"])
+        values = np.array([[1.0, 2.0, 3.0, 4.0], [3.0, 4.0, 1.0, 2.0]])
+        aggregated = profile.aggregate(values)
+        assert np.allclose(aggregated, [4.0, 3.0, 1.0, 4.0])
+
+    def test_null_feature_is_zero(self):
+        profile = AggregateProfile(["sum", "null"])
+        aggregated = profile.aggregate(np.array([[1.0, 5.0], [2.0, 5.0]]))
+        assert aggregated[1] == 0.0
+
+    def test_nan_values_are_excluded_but_count_in_avg(self):
+        profile = AggregateProfile(["avg", "sum"])
+        values = np.array([[2.0, 1.0], [np.nan, 1.0]])
+        aggregated = profile.aggregate(values)
+        # avg divides by the package size (2), not by the non-null count.
+        assert aggregated[0] == pytest.approx(1.0)
+        assert aggregated[1] == pytest.approx(2.0)
+
+    def test_all_null_feature_aggregates_to_zero(self):
+        profile = AggregateProfile(["min", "sum"])
+        values = np.array([[np.nan, 1.0]])
+        assert profile.aggregate(values)[0] == 0.0
+
+    def test_wrong_shape_raises(self):
+        profile = AggregateProfile(["sum", "avg"])
+        with pytest.raises(ValueError):
+            profile.aggregate(np.ones((2, 3)))
+
+
+class TestMaxAggregateValues:
+    def test_paper_example_normalisers(self, paper_example_catalog):
+        """Example 1: max sum over size-2 packages is 1.0, max avg is 0.4."""
+        profile = AggregateProfile(["sum", "avg"])
+        normalisers = profile.max_aggregate_values(paper_example_catalog, 2)
+        assert np.allclose(normalisers, [1.0, 0.4])
+
+    def test_sum_uses_top_phi_items(self):
+        catalog = ItemCatalog(np.array([[1.0], [2.0], [3.0]]))
+        profile = AggregateProfile(["sum"])
+        assert profile.max_aggregate_values(catalog, 2)[0] == pytest.approx(5.0)
+        assert profile.max_aggregate_values(catalog, 3)[0] == pytest.approx(6.0)
+
+    def test_min_max_avg_use_single_best_item(self):
+        catalog = ItemCatalog(np.array([[1.0, 1.0, 1.0], [4.0, 4.0, 4.0]]))
+        profile = AggregateProfile(["min", "max", "avg"])
+        assert np.allclose(profile.max_aggregate_values(catalog, 2), [4.0, 4.0, 4.0])
+
+    def test_null_feature_normaliser_is_one(self):
+        catalog = ItemCatalog(np.array([[2.0, 3.0]]))
+        profile = AggregateProfile(["null", "sum"])
+        assert profile.max_aggregate_values(catalog, 1)[0] == 1.0
+
+    def test_zero_valued_feature_normaliser_is_one(self):
+        catalog = ItemCatalog(np.zeros((3, 1)))
+        profile = AggregateProfile(["sum"])
+        assert profile.max_aggregate_values(catalog, 2)[0] == 1.0
+
+    def test_invalid_package_size_raises(self, paper_example_catalog):
+        profile = AggregateProfile(["sum", "avg"])
+        with pytest.raises(ValueError):
+            profile.max_aggregate_values(paper_example_catalog, 0)

@@ -1,0 +1,218 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.items import ItemCatalog
+from repro.core.packages import Package, PackageEvaluator
+from repro.core.profiles import AggregateProfile, Aggregation
+from repro.core.preferences import Preference
+from repro.core.utility import LinearUtility
+from repro.sampling.base import ConstraintSet
+from repro.sampling.ens import ens_from_weights
+from repro.sampling.maintenance import HybridMaintenance, NaiveMaintenance, ThresholdMaintenance
+from repro.baselines.skyline import skyline_of_vectors
+from repro.topk.bruteforce import brute_force_top_k_packages
+from repro.topk.package_search import TopKPackageSearcher
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+feature_matrices = arrays(
+    dtype=float,
+    shape=st.tuples(st.integers(3, 10), st.integers(2, 4)),
+    elements=st.floats(0.0, 1.0, allow_nan=False, width=32),
+)
+
+aggregation_names = st.sampled_from(["sum", "avg", "max", "min"])
+
+
+def build_evaluator(matrix, aggregations, phi):
+    catalog = ItemCatalog(np.asarray(matrix, dtype=float))
+    profile = AggregateProfile(list(aggregations[: catalog.num_features]))
+    return PackageEvaluator(catalog, profile, phi)
+
+
+class TestPackageProperties:
+    @SETTINGS
+    @given(items=st.lists(st.integers(0, 50), min_size=1, max_size=8))
+    def test_package_items_sorted_unique(self, items):
+        package = Package.of(items)
+        assert list(package.items) == sorted(set(items))
+
+    @SETTINGS
+    @given(items=st.lists(st.integers(0, 50), min_size=1, max_size=8),
+           extra=st.integers(0, 50))
+    def test_add_preserves_membership(self, items, extra):
+        package = Package.of(items)
+        extended = package.add(extra)
+        assert extra in extended.items
+        assert set(package.items) <= set(extended.items)
+
+
+class TestEvaluatorProperties:
+    @SETTINGS
+    @given(matrix=feature_matrices,
+           aggregations=st.lists(aggregation_names, min_size=4, max_size=4),
+           phi=st.integers(1, 4),
+           data=st.data())
+    def test_normalised_vectors_within_unit_box(self, matrix, aggregations, phi, data):
+        evaluator = build_evaluator(matrix, aggregations, phi)
+        size = data.draw(st.integers(1, min(phi, evaluator.catalog.num_items)))
+        indices = data.draw(
+            st.lists(
+                st.integers(0, evaluator.catalog.num_items - 1),
+                min_size=size, max_size=size, unique=True,
+            )
+        )
+        vector = evaluator.vector(Package.of(indices))
+        assert np.all(vector >= -1e-9)
+        assert np.all(vector <= 1.0 + 1e-9)
+
+    @SETTINGS
+    @given(matrix=feature_matrices,
+           aggregations=st.lists(aggregation_names, min_size=4, max_size=4),
+           phi=st.integers(2, 4),
+           data=st.data())
+    def test_incremental_state_matches_direct_aggregation(self, matrix, aggregations, phi, data):
+        evaluator = build_evaluator(matrix, aggregations, phi)
+        size = data.draw(st.integers(1, min(phi, evaluator.catalog.num_items)))
+        indices = data.draw(
+            st.lists(
+                st.integers(0, evaluator.catalog.num_items - 1),
+                min_size=size, max_size=size, unique=True,
+            )
+        )
+        package = Package.of(indices)
+        state = evaluator.state_for_package(package)
+        assert np.allclose(
+            evaluator.state_vector(state), evaluator.vector(package), atol=1e-9
+        )
+
+    @SETTINGS
+    @given(matrix=feature_matrices,
+           weights=arrays(float, 4, elements=st.floats(0.0, 1.0, allow_nan=False, width=32)),
+           phi=st.integers(2, 4))
+    def test_set_monotone_utilities_never_decrease_when_adding_items(self, matrix, weights, phi):
+        """If U is set-monotone, U(p ∪ {t}) >= U(p) for every item t."""
+        evaluator = build_evaluator(matrix, ["sum", "max", "sum", "max"], phi)
+        weights = np.asarray(weights, dtype=float)[: evaluator.num_features]
+        utility = LinearUtility(weights)
+        assume(utility.is_set_monotone(evaluator.profile))
+        base = Package.of([0])
+        base_value = evaluator.utility(base, utility.weights)
+        for item in range(1, min(evaluator.catalog.num_items, phi)):
+            extended = base.add(item)
+            if extended.size > phi:
+                continue
+            assert evaluator.utility(extended, utility.weights) >= base_value - 1e-9
+
+
+class TestPreferenceProperties:
+    @SETTINGS
+    @given(
+        preferred=arrays(float, 3, elements=st.floats(0, 1, allow_nan=False, width=32)),
+        other=arrays(float, 3, elements=st.floats(0, 1, allow_nan=False, width=32)),
+        weights=arrays(float, 3, elements=st.floats(-1, 1, allow_nan=False, width=32)),
+    )
+    def test_preference_satisfaction_matches_utility_comparison(self, preferred, other, weights):
+        assume(not np.allclose(preferred, other))
+        preference = Preference.from_vectors(np.asarray(preferred), np.asarray(other))
+        weights = np.asarray(weights, dtype=float)
+        utility_gap = float((np.asarray(preferred) - np.asarray(other)) @ weights)
+        assert preference.is_satisfied_by(weights) == (utility_gap >= 0)
+
+    @SETTINGS
+    @given(
+        directions=arrays(
+            float, st.tuples(st.integers(1, 6), st.just(3)),
+            elements=st.floats(-1, 1, allow_nan=False, width=32),
+        ),
+        samples=arrays(
+            float, st.tuples(st.integers(1, 20), st.just(3)),
+            elements=st.floats(-1, 1, allow_nan=False, width=32),
+        ),
+    )
+    def test_constraint_set_mask_consistent_with_per_sample_checks(self, directions, samples):
+        constraints = ConstraintSet(np.asarray(directions, dtype=float))
+        samples = np.asarray(samples, dtype=float)
+        mask = constraints.valid_mask(samples)
+        for i in range(samples.shape[0]):
+            assert mask[i] == constraints.is_valid(samples[i])
+            assert (constraints.violations(samples[i]) == 0) == mask[i]
+
+
+class TestMaintenanceProperties:
+    @SETTINGS
+    @given(
+        samples=arrays(
+            float, st.tuples(st.integers(5, 60), st.just(3)),
+            elements=st.floats(-1, 1, allow_nan=False, width=32),
+        ),
+        direction=arrays(float, 3, elements=st.floats(-1, 1, allow_nan=False, width=32)),
+        gamma=st.floats(0.0, 0.2),
+    )
+    def test_all_strategies_find_the_same_violators(self, samples, direction, gamma):
+        samples = np.asarray(samples, dtype=float)
+        direction = np.asarray(direction, dtype=float)
+        naive = NaiveMaintenance().find_violations(samples, direction)
+        ta = ThresholdMaintenance()
+        ta.prepare(samples)
+        hybrid = HybridMaintenance(gamma)
+        hybrid.prepare(samples)
+        assert np.array_equal(
+            naive.violating_indices, ta.find_violations(samples, direction).violating_indices
+        )
+        assert np.array_equal(
+            naive.violating_indices,
+            hybrid.find_violations(samples, direction).violating_indices,
+        )
+
+
+class TestEnsProperties:
+    @SETTINGS
+    @given(weights=arrays(float, st.integers(1, 50),
+                          elements=st.floats(0.001, 100.0, allow_nan=False)))
+    def test_ens_bounded_by_sample_count(self, weights):
+        weights = np.asarray(weights, dtype=float)
+        ens = ens_from_weights(weights)
+        assert 1.0 - 1e-9 <= ens <= weights.shape[0] + 1e-9
+
+
+class TestSkylineProperties:
+    @SETTINGS
+    @given(vectors=arrays(float, st.tuples(st.integers(2, 25), st.just(3)),
+                          elements=st.floats(0, 1, allow_nan=False, width=32)))
+    def test_skyline_points_are_mutually_non_dominating(self, vectors):
+        vectors = np.asarray(vectors, dtype=float)
+        skyline = skyline_of_vectors(vectors, np.ones(3))
+        for i in skyline:
+            for j in skyline:
+                if i == j:
+                    continue
+                dominates = np.all(vectors[i] >= vectors[j]) and np.any(vectors[i] > vectors[j])
+                assert not dominates
+
+
+class TestSearchProperties:
+    @SETTINGS
+    @given(
+        matrix=arrays(float, st.tuples(st.integers(4, 8), st.just(3)),
+                      elements=st.floats(0.015625, 1.0, allow_nan=False, width=32)),
+        aggregations=st.lists(aggregation_names, min_size=3, max_size=3),
+        weights=arrays(float, 3, elements=st.floats(-1, 1, allow_nan=False, width=32)),
+        k=st.integers(1, 4),
+    )
+    def test_topk_pkg_matches_brute_force(self, matrix, aggregations, weights, k):
+        evaluator = build_evaluator(matrix, aggregations, phi=3)
+        weights = np.asarray(weights, dtype=float)
+        result = TopKPackageSearcher(evaluator).search(weights, k)
+        expected = brute_force_top_k_packages(evaluator, weights, k)
+        assert len(result.packages) == len(expected)
+        assert np.allclose(result.utilities, [u for _, u in expected], atol=1e-7)

@@ -1,0 +1,173 @@
+"""Tests for the EXP / TKP / MPO ranking semantics (§2.2, §4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.packages import Package
+from repro.core.ranking import (
+    RankingSemantics,
+    rank_from_samples,
+    rank_packages_exp,
+    rank_packages_mpo,
+    rank_packages_tkp,
+)
+from repro.sampling.base import SamplePool
+from repro.topk.package_search import PackageSearchResult
+
+
+@pytest.fixture
+def paper_example_candidates(paper_example_evaluator):
+    """The six packages of Figure 1(b) with their normalised vectors."""
+    packages = [
+        Package.of([0]), Package.of([1]), Package.of([2]),
+        Package.of([0, 1]), Package.of([1, 2]), Package.of([0, 2]),
+    ]
+    vectors = paper_example_evaluator.vectors(packages)
+    return packages, vectors
+
+
+@pytest.fixture
+def paper_example_pool():
+    """The discrete weight distribution of Figure 2(a)."""
+    samples = np.array([[0.5, 0.1], [0.1, 0.5], [0.1, 0.1]])
+    weights = np.array([0.3, 0.4, 0.3])
+    return SamplePool(samples, weights)
+
+
+class TestRankingSemanticsEnum:
+    def test_parse_strings(self):
+        assert RankingSemantics.parse("exp") is RankingSemantics.EXP
+        assert RankingSemantics.parse("TKP") is RankingSemantics.TKP
+        assert RankingSemantics.parse(RankingSemantics.MPO) is RankingSemantics.MPO
+
+    def test_parse_invalid(self):
+        with pytest.raises(ValueError):
+            RankingSemantics.parse("best")
+        with pytest.raises(TypeError):
+            RankingSemantics.parse(3)
+
+
+class TestPaperExample2:
+    """Examples 1-3 of the paper, computed exactly over the discrete distribution."""
+
+    def test_exp_expected_utilities(self, paper_example_candidates, paper_example_pool):
+        _, vectors = paper_example_candidates
+        ranked = rank_packages_exp(vectors, paper_example_pool, 6)
+        expected_utility = dict(ranked)
+        # Example 1: E[U(p1)] = 0.35*0.3 + 0.31*0.4 + 0.11*0.3 = 0.262
+        assert expected_utility[0] == pytest.approx(0.262, abs=1e-9)
+        # Example 1: p4 has the largest expected utility, followed by p5.
+        assert ranked[0][0] == 3
+        assert ranked[1][0] == 4
+
+    def test_tkp_top2_probabilities(self, paper_example_candidates, paper_example_pool):
+        _, vectors = paper_example_candidates
+        ranked = rank_packages_tkp(vectors, paper_example_pool, 6, sigma=2)
+        probabilities = dict(ranked)
+        # Example 2: P(p5 in top-2) = 0.4 + 0.3 = 0.7, P(p4 in top-2) = 0.6.
+        assert probabilities[4] == pytest.approx(0.7)
+        assert probabilities[3] == pytest.approx(0.6)
+        assert ranked[0][0] == 4
+        assert ranked[1][0] == 3
+
+    def test_mpo_most_probable_list(self, paper_example_candidates, paper_example_pool):
+        _, vectors = paper_example_candidates
+        best_list, probability = rank_packages_mpo(vectors, paper_example_pool, 2)
+        # Example 3: the best top-2 list under MPO is (p5, p2) with probability 0.4.
+        assert best_list == [4, 1]
+        assert probability == pytest.approx(0.4)
+
+    def test_semantics_disagree_on_this_example(self, paper_example_candidates, paper_example_pool):
+        """The paper's point: EXP, TKP and MPO can produce different top-2 lists."""
+        _, vectors = paper_example_candidates
+        exp_top = [i for i, _ in rank_packages_exp(vectors, paper_example_pool, 2)]
+        tkp_top = [i for i, _ in rank_packages_tkp(vectors, paper_example_pool, 2, sigma=2)]
+        mpo_top, _ = rank_packages_mpo(vectors, paper_example_pool, 2)
+        assert exp_top == [3, 4]
+        assert tkp_top == [4, 3]
+        assert mpo_top == [4, 1]
+
+
+class TestCandidateRankingEdgeCases:
+    def test_empty_pool_rejected(self, paper_example_candidates):
+        _, vectors = paper_example_candidates
+        empty = SamplePool.empty(2)
+        with pytest.raises(ValueError):
+            rank_packages_exp(vectors, empty, 2)
+        with pytest.raises(ValueError):
+            rank_packages_tkp(vectors, empty, 2)
+        with pytest.raises(ValueError):
+            rank_packages_mpo(vectors, empty, 2)
+
+    def test_invalid_k_rejected(self, paper_example_candidates, paper_example_pool):
+        _, vectors = paper_example_candidates
+        with pytest.raises(ValueError):
+            rank_packages_exp(vectors, paper_example_pool, 0)
+        with pytest.raises(ValueError):
+            rank_packages_tkp(vectors, paper_example_pool, 2, sigma=0)
+
+    def test_raw_tuple_pool_accepted(self, paper_example_candidates):
+        _, vectors = paper_example_candidates
+        samples = np.array([[0.5, 0.1]])
+        ranked = rank_packages_exp(vectors, (samples, np.array([1.0])), 1)
+        assert ranked[0][0] == 3
+
+    def test_tie_break_by_candidate_index(self):
+        vectors = np.array([[0.5, 0.5], [0.5, 0.5], [0.1, 0.1]])
+        pool = SamplePool.unweighted(np.array([[1.0, 0.0]]))
+        ranked = rank_packages_exp(vectors, pool, 2)
+        assert [i for i, _ in ranked] == [0, 1]
+
+
+def _result(pairs):
+    packages = [Package.of(items) for items, _ in pairs]
+    utilities = [u for _, u in pairs]
+    return PackageSearchResult(packages, utilities, items_accessed=0, candidates_generated=0)
+
+
+class TestRankFromSamples:
+    def test_exp_aggregation_uses_utility_means(self):
+        results = [
+            _result([((1,), 0.9), ((2,), 0.5)]),
+            _result([((2,), 0.8), ((1,), 0.1)]),
+        ]
+        ranked = rank_from_samples(results, 2, "exp")
+        # mean utility: package (1,): 0.5, package (2,): 0.65
+        assert [p.items for p in ranked] == [(2,), (1,)]
+
+    def test_tkp_counts_appearances(self):
+        results = [
+            _result([((1,), 0.9)]),
+            _result([((1,), 0.8)]),
+            _result([((2,), 0.7)]),
+        ]
+        ranked = rank_from_samples(results, 2, RankingSemantics.TKP)
+        assert ranked[0].items == (1,)
+
+    def test_mpo_counts_whole_lists(self):
+        results = [
+            _result([((1,), 0.9), ((2,), 0.5)]),
+            _result([((1,), 0.9), ((2,), 0.5)]),
+            _result([((2,), 0.9), ((1,), 0.5)]),
+        ]
+        ranked = rank_from_samples(results, 2, "mpo")
+        assert [p.items for p in ranked] == [(1,), (2,)]
+
+    def test_sample_weights_shift_the_outcome(self):
+        results = [
+            _result([((1,), 0.9)]),
+            _result([((2,), 0.9)]),
+        ]
+        unweighted = rank_from_samples(results, 1, "tkp")
+        weighted = rank_from_samples(results, 1, "tkp", sample_weights=np.array([0.1, 5.0]))
+        assert unweighted[0].items == (1,)  # tie broken by package id
+        assert weighted[0].items == (2,)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            rank_from_samples([], 1, "exp")
+        results = [_result([((1,), 0.9)])]
+        with pytest.raises(ValueError):
+            rank_from_samples(results, 0, "exp")
+        with pytest.raises(ValueError):
+            rank_from_samples(results, 1, "exp", sample_weights=np.ones(3))

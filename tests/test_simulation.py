@@ -1,0 +1,119 @@
+"""Tests for simulated users and closed-loop elicitation sessions."""
+
+import numpy as np
+import pytest
+
+from repro.core.elicitation import ElicitationConfig, PackageRecommender
+from repro.core.noise import NoiseModel
+from repro.core.packages import Package
+from repro.core.profiles import AggregateProfile
+from repro.core.utility import LinearUtility
+from repro.simulation.session import ElicitationSession
+from repro.simulation.user import SimulatedUser
+
+
+class TestSimulatedUser:
+    def test_clicks_best_presented_package(self, small_evaluator):
+        user = SimulatedUser(LinearUtility([1.0, 0.0, 0.0, 0.0]), small_evaluator)
+        presented = [Package.of([0]), Package.of([1]), Package.of([2])]
+        best = max(presented, key=lambda p: small_evaluator.utility(p, user.true_utility.weights))
+        assert user.click(presented) == best
+
+    def test_best_presented_index_tie_break(self, small_evaluator):
+        user = SimulatedUser(LinearUtility([0.0, 0.0, 0.0, 0.0]), small_evaluator)
+        presented = [Package.of([5]), Package.of([1])]
+        # Equal utility: the package with the smaller id wins.
+        assert user.best_presented_index(presented) == 1
+
+    def test_click_requires_candidates(self, small_evaluator):
+        user = SimulatedUser.random(small_evaluator, rng=0)
+        with pytest.raises(ValueError):
+            user.click([])
+
+    def test_dimension_mismatch_rejected(self, small_evaluator):
+        with pytest.raises(ValueError):
+            SimulatedUser(LinearUtility([1.0]), small_evaluator)
+
+    def test_random_user_reproducible(self, small_evaluator):
+        first = SimulatedUser.random(small_evaluator, rng=5)
+        second = SimulatedUser.random(small_evaluator, rng=5)
+        assert np.allclose(first.true_utility.weights, second.true_utility.weights)
+
+    def test_noisy_user_sometimes_misclicks(self, small_evaluator):
+        user = SimulatedUser.random(
+            small_evaluator, rng=0, noise=NoiseModel(psi=0.2)
+        )
+        presented = [Package.of([i]) for i in range(5)]
+        best = presented[user.best_presented_index(presented)]
+        clicks = [user.click(presented) for _ in range(200)]
+        assert any(click != best for click in clicks)
+
+    def test_true_top_k_and_regret(self, small_evaluator):
+        user = SimulatedUser(LinearUtility([1.0, 0.0, 0.0, 0.0]), small_evaluator)
+        candidates = [Package.of([i]) for i in range(10)]
+        ideal = user.true_top_k(candidates, 3)
+        assert len(ideal) == 3
+        assert user.regret(ideal, ideal) == 0.0
+        worst = sorted(candidates, key=user.true_package_utility)[:3]
+        assert user.regret(worst, ideal) > 0.0
+
+    def test_regret_requires_non_empty_lists(self, small_evaluator):
+        user = SimulatedUser.random(small_evaluator, rng=0)
+        with pytest.raises(ValueError):
+            user.regret([], [Package.of([0])])
+        with pytest.raises(ValueError):
+            user.true_top_k([Package.of([0])], 0)
+
+
+class TestElicitationSession:
+    def _make_session(self, catalog, seed=0, max_rounds=8):
+        profile = AggregateProfile(["sum", "avg", "max", "min"])
+        config = ElicitationConfig(
+            k=2, num_random=2, max_package_size=2, num_samples=30,
+            sampler="mcmc", seed=seed,
+        )
+        recommender = PackageRecommender(catalog, profile, config)
+        user = SimulatedUser.random(recommender.evaluator, rng=seed)
+        return ElicitationSession(recommender, user, max_rounds=max_rounds)
+
+    def test_session_runs_and_reports(self, small_random_catalog):
+        session = self._make_session(small_random_catalog)
+        result = session.run(compute_regret=True)
+        assert result.rounds_run >= 1
+        assert result.clicks_to_convergence <= result.rounds_run
+        assert len(result.top_k_history) == result.rounds_run
+        assert result.final_regret is not None and result.final_regret >= 0.0
+
+    def test_convergence_criterion(self, small_random_catalog):
+        session = self._make_session(small_random_catalog, seed=1, max_rounds=12)
+        result = session.run()
+        if result.converged:
+            # The last `stability_rounds + 1` lists must be identical.
+            tail = result.top_k_history[-(session.stability_rounds + 1):]
+            assert all(entry == tail[0] for entry in tail)
+        else:
+            assert result.rounds_run == session.max_rounds
+
+    def test_invalid_parameters(self, small_random_catalog):
+        session = self._make_session(small_random_catalog)
+        with pytest.raises(ValueError):
+            ElicitationSession(session.recommender, session.user, stability_rounds=0)
+        with pytest.raises(ValueError):
+            ElicitationSession(session.recommender, session.user, max_rounds=0)
+
+    def test_noise_free_user_converges_quickly_on_tiny_catalog(self):
+        rng = np.random.default_rng(0)
+        catalog_matrix = rng.random((15, 3))
+        from repro.core.items import ItemCatalog
+
+        catalog = ItemCatalog(catalog_matrix)
+        profile = AggregateProfile(["sum", "avg", "max"])
+        config = ElicitationConfig(
+            k=2, num_random=2, max_package_size=2, num_samples=40,
+            sampler="mcmc", seed=0,
+        )
+        recommender = PackageRecommender(catalog, profile, config)
+        user = SimulatedUser.random(recommender.evaluator, rng=3)
+        result = ElicitationSession(recommender, user, max_rounds=12).run()
+        # The paper's observation: only a few clicks are needed.
+        assert result.clicks_to_convergence <= 12

@@ -1,0 +1,117 @@
+"""Tests for the sorted-list access layer and the item-level threshold algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.core.items import ItemCatalog
+from repro.topk.sorted_lists import SortedItemLists
+from repro.topk.threshold import scan_top_k_items, top_k_items
+
+
+class TestSortedItemLists:
+    def test_accesses_best_items_first(self, small_random_catalog):
+        weights = np.array([1.0, 0.0, 0.0, 0.0])
+        lists = SortedItemLists(small_random_catalog, weights)
+        first = lists.next_item()
+        assert first == int(np.argmax(small_random_catalog.features[:, 0]))
+
+    def test_negative_weight_accesses_smallest_first(self, small_random_catalog):
+        weights = np.array([-1.0, 0.0, 0.0, 0.0])
+        lists = SortedItemLists(small_random_catalog, weights)
+        first = lists.next_item()
+        assert first == int(np.argmin(small_random_catalog.features[:, 0]))
+
+    def test_each_item_returned_once(self, small_random_catalog):
+        weights = np.array([0.5, -0.5, 0.3, 0.1])
+        lists = SortedItemLists(small_random_catalog, weights)
+        seen = []
+        while True:
+            item = lists.next_item()
+            if item is None:
+                break
+            seen.append(item)
+        assert sorted(seen) == list(range(small_random_catalog.num_items))
+        assert lists.num_accessed == small_random_catalog.num_items
+        assert lists.exhausted()
+
+    def test_zero_weights_have_no_lists(self, small_random_catalog):
+        lists = SortedItemLists(small_random_catalog, np.zeros(4))
+        assert lists.active_features == []
+        assert lists.next_item() is None
+
+    def test_boundary_vector_dominates_unaccessed_items(self, small_random_catalog):
+        weights = np.array([1.0, -1.0, 0.5, 0.0])
+        lists = SortedItemLists(small_random_catalog, weights)
+        for _ in range(10):
+            lists.next_item()
+        tau = lists.boundary_vector()
+        unaccessed = [
+            i for i in range(small_random_catalog.num_items)
+            if i not in set(lists.accessed_items())
+        ]
+        features = small_random_catalog.features
+        for item in unaccessed:
+            for j in lists.active_features:
+                if weights[j] > 0:
+                    assert features[item, j] <= tau[j] + 1e-12
+                else:
+                    assert features[item, j] >= tau[j] - 1e-12
+
+    def test_boundary_vector_before_any_access(self, small_random_catalog):
+        weights = np.array([1.0, -1.0, 0.0, 0.0])
+        lists = SortedItemLists(small_random_catalog, weights)
+        tau = lists.boundary_vector()
+        assert tau[0] == pytest.approx(small_random_catalog.features[:, 0].max())
+        assert tau[1] == pytest.approx(small_random_catalog.features[:, 1].min())
+        assert tau[2] == 0.0
+
+    def test_exhausted_boundary_vector_is_worst_values(self, small_random_catalog):
+        weights = np.array([1.0, -1.0, 0.0, 0.0])
+        lists = SortedItemLists(small_random_catalog, weights)
+        tau = lists.exhausted_boundary_vector()
+        assert tau[0] == pytest.approx(small_random_catalog.features[:, 0].min())
+        assert tau[1] == pytest.approx(small_random_catalog.features[:, 1].max())
+
+    def test_wrong_weight_length_rejected(self, small_random_catalog):
+        with pytest.raises(ValueError):
+            SortedItemLists(small_random_catalog, np.ones(3))
+
+
+class TestTopKItems:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_full_scan(self, seed):
+        rng = np.random.default_rng(seed)
+        catalog = ItemCatalog(rng.random((200, 5)))
+        weights = rng.uniform(-1, 1, 5)
+        ta_result = top_k_items(catalog, weights, 10)
+        scan_result = scan_top_k_items(catalog, weights, 10)
+        assert [s for _, s in ta_result] == pytest.approx([s for _, s in scan_result])
+
+    def test_terminates_early(self):
+        rng = np.random.default_rng(0)
+        catalog = ItemCatalog(rng.random((5000, 3)))
+        weights = np.array([0.9, 0.5, 0.7])
+        _, stats = top_k_items(catalog, weights, 5, return_stats=True)
+        assert stats["items_accessed"] < catalog.num_items
+
+    def test_k_larger_than_catalog(self):
+        catalog = ItemCatalog(np.random.default_rng(0).random((4, 2)))
+        result = top_k_items(catalog, np.array([1.0, 1.0]), 10)
+        assert len(result) == 4
+
+    def test_all_zero_weights(self):
+        catalog = ItemCatalog(np.random.default_rng(0).random((10, 2)))
+        result = top_k_items(catalog, np.zeros(2), 3)
+        assert [i for i, _ in result] == [0, 1, 2]
+        assert all(score == 0.0 for _, score in result)
+
+    def test_invalid_k_rejected(self, small_random_catalog):
+        with pytest.raises(ValueError):
+            top_k_items(small_random_catalog, np.ones(4), 0)
+        with pytest.raises(ValueError):
+            scan_top_k_items(small_random_catalog, np.ones(4), 0)
+
+    def test_negative_weights_rank_small_values_high(self):
+        catalog = ItemCatalog(np.array([[0.1], [0.9], [0.5]]))
+        result = top_k_items(catalog, np.array([-1.0]), 3)
+        assert [i for i, _ in result] == [0, 2, 1]

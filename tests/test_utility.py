@@ -1,0 +1,99 @@
+"""Tests for LinearUtility and random utility sampling."""
+
+import numpy as np
+import pytest
+
+from repro.core.packages import Package
+from repro.core.profiles import AggregateProfile
+from repro.core.utility import LinearUtility, sample_random_utility
+
+
+class TestLinearUtility:
+    def test_value_is_dot_product(self):
+        utility = LinearUtility([0.5, -0.5])
+        assert utility.value(np.array([0.8, 0.2])) == pytest.approx(0.3)
+
+    def test_values_batched(self):
+        utility = LinearUtility([1.0, 0.0])
+        vectors = np.array([[0.1, 0.9], [0.7, 0.3]])
+        assert np.allclose(utility.values(vectors), [0.1, 0.7])
+
+    def test_weights_clipped_by_default(self):
+        utility = LinearUtility([2.0, -3.0])
+        assert np.allclose(utility.weights, [1.0, -1.0])
+
+    def test_out_of_range_rejected_without_clip(self):
+        with pytest.raises(ValueError):
+            LinearUtility([1.5], clip=False)
+
+    def test_wrong_vector_length_rejected(self):
+        with pytest.raises(ValueError):
+            LinearUtility([0.5, 0.5]).value(np.array([1.0]))
+
+    def test_equality_and_hash(self):
+        assert LinearUtility([0.5, 0.5]) == LinearUtility([0.5, 0.5])
+        assert hash(LinearUtility([0.5])) == hash(LinearUtility([0.5]))
+        assert LinearUtility([0.5]) != LinearUtility([0.6])
+
+    def test_package_utility_and_prefers(self, paper_example_evaluator):
+        utility = LinearUtility([0.5, 0.1])
+        p4 = Package.of([0, 1])
+        p1 = Package.of([0])
+        assert utility.package_utility(paper_example_evaluator, p4) == pytest.approx(0.575)
+        assert utility.prefers(paper_example_evaluator, p4, p1)
+        assert not utility.prefers(paper_example_evaluator, p1, p4)
+
+    def test_prefers_breaks_ties_by_package_id(self, paper_example_evaluator):
+        utility = LinearUtility([0.0, 0.0])
+        earlier = Package.of([0])
+        later = Package.of([1])
+        assert utility.prefers(paper_example_evaluator, earlier, later)
+        assert not utility.prefers(paper_example_evaluator, later, earlier)
+
+
+class TestSetMonotonicity:
+    def test_paper_example_is_set_monotone(self):
+        """The paper's example: 0.5·sum1 − 0.5·min2 is set-monotone."""
+        utility = LinearUtility([0.5, -0.5])
+        profile = AggregateProfile(["sum", "min"])
+        assert utility.is_set_monotone(profile)
+
+    def test_negative_sum_weight_not_monotone(self):
+        assert not LinearUtility([-0.5, 0.5]).is_set_monotone(AggregateProfile(["sum", "max"]))
+
+    def test_positive_min_weight_not_monotone(self):
+        assert not LinearUtility([0.5]).is_set_monotone(AggregateProfile(["min"]))
+
+    def test_avg_never_monotone_with_nonzero_weight(self):
+        assert not LinearUtility([0.2, 0.0]).is_set_monotone(AggregateProfile(["avg", "sum"]))
+
+    def test_zero_weight_ignores_aggregation(self):
+        assert LinearUtility([0.0, 0.5]).is_set_monotone(AggregateProfile(["avg", "sum"]))
+
+    def test_null_aggregation_ignored(self):
+        assert LinearUtility([-0.9, 0.5]).is_set_monotone(AggregateProfile(["null", "max"]))
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            LinearUtility([0.5]).is_set_monotone(AggregateProfile(["sum", "sum"]))
+
+
+class TestSampleRandomUtility:
+    def test_weights_in_range(self):
+        utility = sample_random_utility(6, rng=0)
+        assert utility.num_features == 6
+        assert np.all(np.abs(utility.weights) <= 1.0)
+
+    def test_reproducible(self):
+        assert sample_random_utility(4, rng=1) == sample_random_utility(4, rng=1)
+
+    def test_sign_constraints(self):
+        utility = sample_random_utility(3, rng=0, signs=[+1, -1, 0])
+        assert utility.weights[0] >= 0
+        assert utility.weights[1] <= 0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            sample_random_utility(0)
+        with pytest.raises(ValueError):
+            sample_random_utility(2, signs=[1])

@@ -1,0 +1,157 @@
+"""Tests for repro.utils (rng, timing, validation)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_seed, ensure_rng, spawn_rngs
+from repro.utils.timing import Stopwatch, TimingRecord
+from repro.utils.validation import (
+    require_index,
+    require_matrix,
+    require_positive,
+    require_probability,
+    require_vector,
+)
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(1)
+        assert ensure_rng(generator) is generator
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")
+
+
+class TestSpawnRngs:
+    def test_spawns_requested_count(self):
+        children = spawn_rngs(0, 5)
+        assert len(children) == 5
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rngs(0, 2)
+        assert not np.array_equal(children[0].random(10), children[1].random(10))
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_deterministic_given_seed(self):
+        a = [g.random() for g in spawn_rngs(3, 3)]
+        b = [g.random() for g in spawn_rngs(3, 3)]
+        assert a == b
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(5, salt=1) == derive_seed(5, salt=1)
+
+    def test_salt_changes_seed(self):
+        assert derive_seed(5, salt=1) != derive_seed(5, salt=2)
+
+
+class TestTimingRecord:
+    def test_accumulates_durations(self):
+        record = TimingRecord()
+        record.add("phase", 1.0)
+        record.add("phase", 0.5)
+        assert record.get("phase") == pytest.approx(1.5)
+        assert record.mean("phase") == pytest.approx(0.75)
+
+    def test_unknown_phase_is_zero(self):
+        assert TimingRecord().get("missing") == 0.0
+        assert TimingRecord().mean("missing") == 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            TimingRecord().add("phase", -0.1)
+
+    def test_total_and_phases(self):
+        record = TimingRecord()
+        record.add("a", 1.0)
+        record.add("b", 2.0)
+        assert record.total() == pytest.approx(3.0)
+        assert record.phases() == ["a", "b"]
+
+    def test_merge_combines_records(self):
+        first = TimingRecord()
+        first.add("a", 1.0)
+        second = TimingRecord()
+        second.add("a", 2.0)
+        second.add("b", 1.0)
+        merged = first.merge(second)
+        assert merged.get("a") == pytest.approx(3.0)
+        assert merged.get("b") == pytest.approx(1.0)
+        # originals untouched
+        assert first.get("a") == pytest.approx(1.0)
+
+
+class TestStopwatch:
+    def test_measure_records_elapsed_time(self):
+        watch = Stopwatch()
+        with watch.measure("sleep"):
+            time.sleep(0.01)
+        assert watch.record.get("sleep") >= 0.005
+
+    def test_time_call_returns_result(self):
+        watch = Stopwatch()
+        assert watch.time_call("add", lambda a, b: a + b, 2, 3) == 5
+        assert "add" in watch.record.durations
+
+    def test_measure_records_on_exception(self):
+        watch = Stopwatch()
+        with pytest.raises(RuntimeError):
+            with watch.measure("boom"):
+                raise RuntimeError("boom")
+        assert "boom" in watch.record.durations
+
+
+class TestValidation:
+    def test_require_positive(self):
+        assert require_positive(1.5, "x") == 1.5
+        with pytest.raises(ValueError):
+            require_positive(0.0, "x")
+        assert require_positive(0.0, "x", allow_zero=True) == 0.0
+        with pytest.raises(ValueError):
+            require_positive(-1.0, "x", allow_zero=True)
+
+    def test_require_probability(self):
+        assert require_probability(0.5, "p") == 0.5
+        with pytest.raises(ValueError):
+            require_probability(1.5, "p")
+        with pytest.raises(ValueError):
+            require_probability(-0.1, "p")
+
+    def test_require_vector_checks_shape(self):
+        vector = require_vector([1, 2, 3], "v")
+        assert vector.shape == (3,)
+        with pytest.raises(ValueError):
+            require_vector([[1, 2]], "v")
+        with pytest.raises(ValueError):
+            require_vector([1, 2], "v", length=3)
+
+    def test_require_matrix_checks_shape(self):
+        matrix = require_matrix([[1, 2], [3, 4]], "m")
+        assert matrix.shape == (2, 2)
+        with pytest.raises(ValueError):
+            require_matrix([1, 2], "m")
+        with pytest.raises(ValueError):
+            require_matrix([[1, 2]], "m", columns=3)
+
+    def test_require_index(self):
+        assert require_index(3, "i") == 3
+        with pytest.raises(ValueError):
+            require_index(-1, "i")
+        with pytest.raises(ValueError):
+            require_index(5, "i", upper=5)
