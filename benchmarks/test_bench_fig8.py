@@ -9,6 +9,11 @@ handful of clicks are needed at every dimensionality, as the paper reports.
 import pytest
 
 from repro.experiments.fig8_elicitation import run_elicitation_effectiveness, summarise
+
+# The closed-loop elicitation sweep (5 feature counts x 3 users x up to 10
+# rounds of sampling + package search) is a multi-minute pipeline; run it
+# explicitly with `pytest benchmarks/test_bench_fig8.py -m slow`.
+pytestmark = pytest.mark.slow
 from repro.experiments.harness import format_table
 from repro.core.elicitation import ElicitationConfig, PackageRecommender
 from repro.core.items import ItemCatalog

@@ -1,0 +1,143 @@
+"""Benchmarks for the online serving engine: throughput under concurrent load.
+
+Not a paper figure — this is the serving-layer evaluation the ROADMAP's
+production north star needs.  A :class:`TrafficSimulator` drives the
+:class:`RecommendationEngine` with ≥ 50 concurrent simulated sessions and the
+suite compares two configurations on the identical-prefix workload (every
+session shares the same feedback prefix — the cold-start burst that dominates
+real onboarding traffic):
+
+* **shared** — sample-pool cache + top-k cache + batched sampling enabled;
+* **per-session** — every session samples and searches for itself, which is
+  exactly what running N independent ``PackageRecommender`` loops costs.
+
+The asserted headline: sharing wins by at least 2× sessions/sec (in practice
+far more — the shared work is amortised over all N sessions).  A smaller
+heterogeneous workload is also reported: with fully independent users the
+caches only help on the empty-prefix first round, bounding the benefit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.elicitation import ElicitationConfig
+from repro.experiments.harness import build_evaluator
+from repro.service import EngineConfig, RecommendationEngine
+from repro.simulation.traffic import TrafficSimulator, WorkloadSpec
+
+#: Acceptance floor: the shared engine must at least double throughput.
+MIN_SPEEDUP = 2.0
+
+NUM_SESSIONS = 60
+NUM_ROUNDS = 3
+
+
+def _elicitation_config() -> ElicitationConfig:
+    return ElicitationConfig(
+        k=3,
+        num_random=2,
+        max_package_size=3,
+        num_samples=150,
+        sampler="mcmc",
+        search_sample_budget=3,
+        search_beam_width=150,
+        search_items_cap=60,
+        seed=0,
+    )
+
+
+def _engine(scale, shared: bool) -> RecommendationEngine:
+    evaluator = build_evaluator("UNI", scale, num_features=4)
+    if shared:
+        config = EngineConfig(elicitation=_elicitation_config(), seed=1)
+    else:
+        config = EngineConfig(
+            elicitation=_elicitation_config(),
+            seed=1,
+            pool_cache_size=0,
+            topk_cache_size=0,
+            use_batch_sampler=False,
+        )
+    return RecommendationEngine(evaluator.catalog, evaluator.profile, config)
+
+
+@pytest.fixture(scope="module")
+def service_reports(scale):
+    from bench_utils import write_results
+
+    reports = {}
+    reports["shared"] = TrafficSimulator(
+        _engine(scale, shared=True),
+        WorkloadSpec(
+            num_sessions=NUM_SESSIONS, rounds=NUM_ROUNDS,
+            identical_prefix=True, batched=True,
+        ),
+    ).run()
+    reports["per-session"] = TrafficSimulator(
+        _engine(scale, shared=False),
+        WorkloadSpec(
+            num_sessions=NUM_SESSIONS, rounds=NUM_ROUNDS,
+            identical_prefix=True, batched=False,
+        ),
+    ).run()
+    reports["shared-heterogeneous"] = TrafficSimulator(
+        _engine(scale, shared=True),
+        WorkloadSpec(
+            num_sessions=20, rounds=2, identical_prefix=False, batched=True,
+        ),
+    ).run()
+
+    speedup = (
+        reports["shared"].sessions_per_sec / reports["per-session"].sessions_per_sec
+    )
+    header = (
+        "Serving engine — throughput under concurrent elicitation sessions\n"
+        f"identical-prefix workload: {NUM_SESSIONS} sessions x {NUM_ROUNDS} rounds; "
+        f"shared/per-session speedup = {speedup:.1f}x"
+    )
+    body = "\n\n".join(
+        report.format(label) for label, report in reports.items()
+    )
+    print("\n" + header + "\n" + body)
+    write_results("bench_service.txt", header + "\n\n" + body)
+    return reports
+
+
+def test_service_load_runs_at_scale(service_reports):
+    """≥ 50 concurrent sessions complete every round with feedback applied."""
+    for report in service_reports.values():
+        assert report.rounds_served == report.num_sessions * report.rounds
+        assert report.feedback_events == report.rounds_served
+    assert service_reports["shared"].num_sessions >= 50
+
+
+def test_shared_engine_beats_per_session_sampling(service_reports):
+    """The shared sample-pool cache must at least double sessions/sec."""
+    shared = service_reports["shared"]
+    baseline = service_reports["per-session"]
+    speedup = shared.sessions_per_sec / baseline.sessions_per_sec
+    assert speedup >= MIN_SPEEDUP, (
+        f"shared engine speedup {speedup:.2f}x below the {MIN_SPEEDUP}x floor "
+        f"({shared.sessions_per_sec:.2f} vs {baseline.sessions_per_sec:.2f} sessions/sec)"
+    )
+
+
+def test_identical_prefix_workload_hits_the_pool_cache(service_reports):
+    stats = service_reports["shared"].engine_stats
+    assert stats["pool_cache"]["hit_rate"] >= 0.9
+    # One pool build per distinct feedback prefix, not one per session.
+    builds = stats["pools_sampled"] + stats["pools_maintained"]
+    assert builds <= NUM_ROUNDS + 1
+
+
+def test_per_session_engine_never_uses_the_caches(service_reports):
+    stats = service_reports["per-session"].engine_stats
+    assert stats["pool_cache"]["hits"] == 0
+    assert stats["topk_cache"]["hits"] == 0
+
+
+def test_latency_percentiles_are_reported(service_reports):
+    for report in service_reports.values():
+        assert report.p50_round_latency_ms > 0
+        assert report.p95_round_latency_ms >= report.p50_round_latency_ms

@@ -12,7 +12,9 @@ The public API re-exports the pieces most users need:
   :class:`MetropolisHastingsSampler`;
 * top-k package search: :class:`TopKPackageSearcher`;
 * ranking semantics: :class:`RankingSemantics`;
-* dataset generators: :func:`load_benchmark_dataset`, :func:`generate_nba_dataset`.
+* dataset generators: :func:`load_benchmark_dataset`, :func:`generate_nba_dataset`;
+* the online serving engine: :class:`RecommendationEngine`,
+  :class:`EngineConfig`, :class:`TrafficSimulator`.
 
 See README.md for a quickstart and DESIGN.md for the architecture.
 """
@@ -47,8 +49,22 @@ from repro.data.datasets import load_benchmark_dataset
 from repro.data.nba import generate_nba_dataset
 from repro.simulation.user import SimulatedUser
 from repro.simulation.session import ElicitationSession
+from repro.simulation.traffic import LoadReport, TrafficSimulator, WorkloadSpec
+from repro.sampling.batch import BatchRejectionSampler
+from repro.service import (
+    EngineConfig,
+    EngineStats,
+    JsonSessionStore,
+    MemorySessionStore,
+    RecommendationEngine,
+    SamplePoolCache,
+    SessionExpiredError,
+    SessionManager,
+    SessionNotFoundError,
+    SqliteSessionStore,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ItemCatalog",
@@ -84,5 +100,19 @@ __all__ = [
     "generate_nba_dataset",
     "SimulatedUser",
     "ElicitationSession",
+    "TrafficSimulator",
+    "WorkloadSpec",
+    "LoadReport",
+    "BatchRejectionSampler",
+    "RecommendationEngine",
+    "EngineConfig",
+    "EngineStats",
+    "SessionManager",
+    "SessionNotFoundError",
+    "SessionExpiredError",
+    "SamplePoolCache",
+    "MemorySessionStore",
+    "JsonSessionStore",
+    "SqliteSessionStore",
     "__version__",
 ]

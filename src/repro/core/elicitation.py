@@ -23,7 +23,7 @@ Typical usage::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -53,6 +53,11 @@ SAMPLER_NAMES = ("rejection", "importance", "mcmc")
 
 #: Maintenance strategy names accepted by :class:`ElicitationConfig`.
 MAINTENANCE_NAMES = ("naive", "ta", "hybrid", "resample")
+
+#: External pool source: ``provider(constraints, count, stale_pool) -> pool``.
+PoolProvider = Callable[
+    [ConstraintSet, int, Optional[SamplePool]], SamplePool
+]
 
 
 @dataclass
@@ -230,6 +235,8 @@ class PackageRecommender:
         )
         self._maintainer = self._build_maintainer()
         self._pool: Optional[SamplePool] = None
+        self._stale_pool: Optional[SamplePool] = None
+        self._pool_provider: Optional[PoolProvider] = None
         self._last_round: Optional[RecommendationRound] = None
         self.rounds_presented = 0
         self.clicks_received = 0
@@ -271,10 +278,50 @@ class PackageRecommender:
         """Number of pairwise preferences accumulated so far."""
         return len(self.preferences)
 
+    @property
+    def last_round(self) -> Optional[RecommendationRound]:
+        """The most recently presented round, if any."""
+        return self._last_round
+
+    @property
+    def pending_pool(self) -> Optional[SamplePool]:
+        """The materialised sample pool, or ``None`` when it needs rebuilding."""
+        return self._pool
+
+    @property
+    def stale_pool(self) -> Optional[SamplePool]:
+        """The pre-feedback pool parked for the provider to maintain, if any."""
+        return self._stale_pool
+
+    def set_pool_provider(self, provider: Optional["PoolProvider"]) -> None:
+        """Delegate sample-pool acquisition to an external provider.
+
+        A serving engine uses this hook to source pools from a shared cache
+        (keyed by the constraint-set fingerprint) instead of sampling inside
+        every session.  The provider is called with ``(constraints, count,
+        stale_pool)`` where ``stale_pool`` is the pre-feedback pool, if any,
+        that the provider may maintain incrementally (§3.4) rather than
+        resampling from scratch.
+        """
+        self._pool_provider = provider
+
+    def set_pool(self, pool: Optional[SamplePool]) -> None:
+        """Install an externally generated pool (snapshot restore, testing)."""
+        self._pool = pool
+        self._stale_pool = None
+
     def sample_pool(self, refresh: bool = False) -> SamplePool:
         """The current pool of posterior weight samples (generated lazily)."""
         if self._pool is None or refresh:
-            self._pool = self.sampler.sample(self.config.num_samples, self.constraints)
+            if self._pool_provider is not None:
+                self._pool = self._pool_provider(
+                    self.constraints, self.config.num_samples, self._stale_pool
+                )
+                self._stale_pool = None
+            else:
+                self._pool = self.sampler.sample(
+                    self.config.num_samples, self.constraints
+                )
         return self._pool
 
     def estimated_weights(self) -> np.ndarray:
@@ -313,11 +360,19 @@ class PackageRecommender:
     ) -> List[PackageSearchResult]:
         if indices is None:
             indices = np.arange(pool.size)
-        return [self.searcher.search(pool.samples[i], k) for i in indices]
+        return self.searcher.search_many(pool.samples[indices], k)
 
-    def recommend(self) -> RecommendationRound:
-        """Produce one round of recommendations: best packages + random packages."""
-        recommended = self.current_top_k()
+    def recommend(
+        self, recommended: Optional[List[Package]] = None
+    ) -> RecommendationRound:
+        """Produce one round of recommendations: best packages + random packages.
+
+        ``recommended`` lets an engine driving many sessions inject the
+        "exploit" packages (e.g. a cached top-k shared by every session with
+        the same posterior); by default they are computed here.
+        """
+        if recommended is None:
+            recommended = self.current_top_k()
         exclude = {package.items for package in recommended}
         random_packages: List[Package] = []
         attempts = 0
@@ -367,6 +422,12 @@ class PackageRecommender:
     def _update_pool(self, new_preferences) -> None:
         """Maintain (or regenerate) the sample pool after new feedback."""
         if self._pool is None:
+            return
+        if self._pool_provider is not None:
+            # The provider owns pool lifecycle: hand it the stale pool so it
+            # can maintain the surviving samples (or hit its cache) lazily.
+            self._stale_pool = self._pool
+            self._pool = None
             return
         if self._maintainer is None:
             self._pool = None  # force full regeneration on next use

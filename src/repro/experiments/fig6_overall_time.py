@@ -37,7 +37,7 @@ from repro.sampling.importance import (
     ImportanceSamplingIntractableError,
 )
 from repro.sampling.mcmc import MetropolisHastingsSampler
-from repro.sampling.rejection import RejectionSampler
+from repro.sampling.rejection import RejectionSampler, RejectionSamplingError
 from repro.topk.package_search import TopKPackageSearcher
 from repro.utils.rng import ensure_rng
 
@@ -115,7 +115,11 @@ def _measure_point(
     start = time.perf_counter()
     try:
         pool = sampler.sample(num_samples, constraints)
-    except ImportanceSamplingIntractableError:
+    except (ImportanceSamplingIntractableError, RejectionSamplingError):
+        # Mirror the paper's exclusions: IS is intractable beyond the feature
+        # cut-off, and plain rejection sampling becomes impractical once the
+        # accumulated feedback shrinks the valid region's prior mass below
+        # what the attempt budget can hit (§5.3's point about RS cost).
         point.skipped = True
         return point
     point.sample_generation_seconds = time.perf_counter() - start

@@ -13,6 +13,7 @@ from repro.sampling.base import ConstraintSet, SamplePool, Sampler
 from repro.sampling.rejection import RejectionSampler
 from repro.sampling.importance import ImportanceSampler, ImportanceSamplingIntractableError
 from repro.sampling.mcmc import MetropolisHastingsSampler
+from repro.sampling.batch import BatchRejectionSampler
 from repro.sampling.ens import (
     effective_number_of_samples,
     ens_from_weights,
@@ -36,6 +37,7 @@ __all__ = [
     "ImportanceSampler",
     "ImportanceSamplingIntractableError",
     "MetropolisHastingsSampler",
+    "BatchRejectionSampler",
     "effective_number_of_samples",
     "ens_from_weights",
     "chi_square_distance",

@@ -11,6 +11,7 @@
 from __future__ import annotations
 
 import abc
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional
 
@@ -118,6 +119,65 @@ class ConstraintSet:
             return np.zeros(samples.shape[0], dtype=int)
         return np.sum(samples @ self._directions.T < 0.0, axis=1).astype(int)
 
+    # ----------------------------------------------------------- interior point
+    def interior_point(self, bound: float = 1.0) -> Optional[np.ndarray]:
+        """A strictly interior valid weight vector, or ``None`` if none exists.
+
+        Solves the Chebyshev-centre linear program over the constraint cone
+        intersected with the box ``[-bound, bound]^m``: maximise ``t`` subject
+        to ``d_i · w >= t * ||d_i||``.  A positive optimum yields a point with
+        slack against every constraint — the robust way to seed an MCMC chain
+        when the valid region's prior mass is too small for rejection
+        sampling to hit (high dimensionality, many accumulated preferences).
+        """
+        if bound <= 0:
+            raise ValueError(f"bound must be > 0, got {bound}")
+        if self.is_empty():
+            return np.zeros(self.num_features)
+        from scipy.optimize import linprog
+
+        directions = self._directions
+        norms = np.linalg.norm(directions, axis=1)
+        directions = directions[norms > 0]
+        norms = norms[norms > 0]
+        if directions.shape[0] == 0:
+            return np.zeros(self.num_features)
+        m = self.num_features
+        # Variables x = (w, t); maximise t  <=>  minimise -t.
+        objective = np.zeros(m + 1)
+        objective[-1] = -1.0
+        # -d_i · w + ||d_i|| t <= 0.
+        a_ub = np.hstack([-directions, norms[:, None]])
+        b_ub = np.zeros(directions.shape[0])
+        bounds = [(-bound, bound)] * m + [(0.0, bound)]
+        result = linprog(objective, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method="highs")
+        if not result.success or result.x is None:
+            return None
+        point, slack = result.x[:m], result.x[m]
+        if slack <= 0 or not self.is_valid(point):
+            return None
+        return point
+
+    # ------------------------------------------------------------- fingerprint
+    def fingerprint(self, precision: int = 10) -> str:
+        """A canonical content fingerprint of the constraint set.
+
+        Two constraint sets that contain the same half-space directions — in
+        any order, up to ``precision`` decimal digits — produce the same
+        fingerprint.  The serving layer uses this as the key of the shared
+        sample-pool cache: sessions whose feedback prefixes induce identical
+        constraint sets map to the same key and can share one pool of
+        posterior samples.
+        """
+        rounded = np.round(self._directions, precision)
+        rounded += 0.0  # normalise -0.0 to +0.0 so signs cannot split keys
+        rows = sorted(tuple(row) for row in rounded.tolist())
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(f"m={self.num_features};c={len(rows)};".encode())
+        for row in rows:
+            digest.update(repr(row).encode())
+        return digest.hexdigest()
+
     # --------------------------------------------------------------- extension
     def extended(self, new_directions: np.ndarray) -> "ConstraintSet":
         """A new constraint set with additional directions appended."""
@@ -202,6 +262,10 @@ class SamplePool:
                 return self.weights
             return np.full(self.size, 1.0 / self.size)
         return self.weights / total
+
+    def copy(self) -> "SamplePool":
+        """An independent deep copy of the pool (samples, weights and stats)."""
+        return SamplePool(self.samples.copy(), self.weights.copy(), dict(self.stats))
 
     def subset(self, mask_or_indices) -> "SamplePool":
         """A new pool restricted to the given boolean mask or index array."""

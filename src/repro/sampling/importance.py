@@ -129,7 +129,9 @@ class ImportanceSampler(Sampler):
         total_accepted = 0
         while total_accepted < count:
             if attempts >= self.max_attempts:
-                raise RuntimeError(
+                # Typed so callers can exclude IS from a workload it cannot
+                # complete, exactly like the feature-count cut-off.
+                raise ImportanceSamplingIntractableError(
                     f"importance sampling exhausted {attempts} proposal draws while "
                     f"collecting {total_accepted}/{count} valid samples"
                 )

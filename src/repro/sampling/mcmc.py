@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.sampling.base import ConstraintSet, SamplePool, Sampler
 from repro.sampling.gaussian_mixture import GaussianMixture
-from repro.sampling.rejection import RejectionSampler
+from repro.sampling.rejection import RejectionSampler, RejectionSamplingError
 from repro.utils.rng import RngLike
 
 
@@ -91,13 +91,34 @@ class MetropolisHastingsSampler(Sampler):
         return current + direction * radius
 
     def _find_initial_state(self, constraints: ConstraintSet) -> np.ndarray:
-        """Find a valid starting point, via rejection sampling from the prior."""
+        """Find a valid starting point for the chain.
+
+        Rejection sampling from the prior is tried first (a start distributed
+        like the prior, as the paper assumes); when the valid region's prior
+        mass is below the rejection budget — high dimensionality, many
+        accumulated preferences — the Chebyshev interior point of the
+        constraint cone seeds the chain instead, and burn-in washes out the
+        deterministic start.
+        """
         if self.initial_state is not None:
             if self.noise_probability is None and not constraints.is_valid(self.initial_state):
                 raise ValueError("the supplied initial_state violates the constraints")
             return self.initial_state
-        seeder = RejectionSampler(self.prior, rng=self.rng, noise_probability=self.noise_probability)
-        return seeder.sample_one_valid(constraints)
+        # A bounded seeding budget: below ~1e-5 acceptance, rejection seeding
+        # is hopeless and the interior-point fallback is both faster and sure.
+        seeder = RejectionSampler(
+            self.prior,
+            rng=self.rng,
+            noise_probability=self.noise_probability,
+            max_attempts=200_000,
+        )
+        try:
+            return seeder.sample_one_valid(constraints)
+        except RejectionSamplingError:
+            interior = constraints.interior_point()
+            if interior is None:
+                raise
+            return interior
 
     # ---------------------------------------------------------------- sampling
     def sample(self, count: int, constraints: ConstraintSet) -> SamplePool:

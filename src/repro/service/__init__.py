@@ -1,0 +1,56 @@
+"""Online serving engine: many concurrent elicitation sessions, shared work.
+
+The paper's system elicits preferences from one user at a time; this package
+is the serving layer that carries the same machinery to many users at once,
+the first step toward the production north star in ROADMAP.md.  The key
+observation is that per-user state (the preference DAG, click counters, RNG)
+is tiny, while the expensive artifacts — the constrained sample pool over
+``Pw`` and the per-sample ``Top-k-Pkg`` searches — depend only on the
+*constraint set* the feedback induces.  Sessions whose feedback prefixes are
+identical therefore share one pool and one top-k result, keyed by a canonical
+:meth:`~repro.sampling.base.ConstraintSet.fingerprint`.
+
+* :class:`RecommendationEngine` — request/response facade
+  (``create_session`` / ``recommend`` / ``feedback`` / ``close``) with a
+  shared :class:`SamplePoolCache`, a shared top-k result cache, and batched
+  sampling across pending sessions.
+* :class:`SessionManager` — bounded active-session table with TTL expiry and
+  LRU eviction; evicted sessions are transparently swapped out to a
+  :class:`SessionStore` (JSON files or SQLite in WAL mode) and restored on
+  their next request.
+* :class:`~repro.simulation.traffic.TrafficSimulator` (in the simulation
+  package) — closed-loop load generator used by the serving benchmark.
+"""
+
+from repro.service.pool_cache import CacheStats, LruCache, SamplePoolCache
+from repro.service.store import (
+    JsonSessionStore,
+    MemorySessionStore,
+    SessionStore,
+    SqliteSessionStore,
+)
+from repro.service.session_manager import SessionEntry, SessionManager
+from repro.service.engine import (
+    EngineConfig,
+    EngineStats,
+    RecommendationEngine,
+    SessionExpiredError,
+    SessionNotFoundError,
+)
+
+__all__ = [
+    "CacheStats",
+    "LruCache",
+    "SamplePoolCache",
+    "SessionStore",
+    "MemorySessionStore",
+    "JsonSessionStore",
+    "SqliteSessionStore",
+    "SessionEntry",
+    "SessionManager",
+    "EngineConfig",
+    "EngineStats",
+    "RecommendationEngine",
+    "SessionNotFoundError",
+    "SessionExpiredError",
+]

@@ -1,0 +1,662 @@
+"""The multi-session recommendation engine (request/response facade).
+
+:class:`RecommendationEngine` serves many concurrent preference-elicitation
+sessions over one shared catalog.  Per-session state stays tiny (preference
+DAG, counters, RNG); the expensive artifacts are shared across sessions:
+
+* **Sample pools** — keyed by the canonical fingerprint of the session's
+  constraint set, so sessions with identical feedback prefixes share one pool
+  of posterior weight samples (:class:`~repro.service.pool_cache.SamplePoolCache`).
+  On a cache miss the engine first *maintains* the session's pre-feedback
+  pool (§3.4: keep the still-valid samples, top up the rest) instead of
+  resampling from scratch.
+* **Top-k results** — for a given pool, ``k`` and semantics the ranked
+  "exploit" packages are identical for every session, so they are cached too;
+  only the random exploration packages are drawn per session.
+* **Sampling work** — :meth:`recommend_many` groups pending sessions by
+  constraint fingerprint and fills every missing pool from shared candidate
+  blocks via :class:`~repro.sampling.batch.BatchRejectionSampler`, one
+  vectorised numpy pass instead of per-session Python loops.
+
+Session lifecycle (bounded active set, TTL expiry, LRU swap-out to a durable
+store, snapshot/restore) is delegated to
+:class:`~repro.service.session_manager.SessionManager`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.elicitation import (
+    ElicitationConfig,
+    PackageRecommender,
+    RecommendationRound,
+)
+from repro.core.items import ItemCatalog
+from repro.core.packages import Package
+from repro.core.predicates import PredicateSet
+from repro.core.preferences import Preference
+from repro.core.profiles import AggregateProfile
+from repro.sampling.base import ConstraintSet, SamplePool, Sampler
+from repro.sampling.batch import BatchRejectionSampler
+from repro.sampling.gaussian_mixture import GaussianMixture
+from repro.sampling.importance import ImportanceSampler
+from repro.sampling.mcmc import MetropolisHastingsSampler
+from repro.sampling.rejection import RejectionSampler
+from repro.service.pool_cache import LruCache, SamplePoolCache
+from repro.service.session_manager import (
+    SessionEntry,
+    SessionExpiredError,
+    SessionManager,
+    SessionNotFoundError,
+)
+from repro.service.store import SessionStore
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "EngineConfig",
+    "EngineStats",
+    "RecommendationEngine",
+    "SessionNotFoundError",
+    "SessionExpiredError",
+]
+
+#: Snapshot schema version written by :meth:`RecommendationEngine.snapshot`.
+SNAPSHOT_VERSION = 1
+
+
+@dataclass
+class EngineConfig:
+    """Serving-layer configuration wrapped around an elicitation config.
+
+    Attributes
+    ----------
+    elicitation:
+        Per-session recommender configuration (its ``seed`` is replaced by a
+        per-session seed derived from ``seed`` below).
+    max_active_sessions:
+        In-memory session capacity; LRU sessions beyond it are swapped out to
+        the session store (or dropped when no store is configured).
+    session_ttl_seconds:
+        Idle time after which a session expires permanently; ``None`` never
+        expires.
+    pool_cache_size:
+        Capacity of the shared sample-pool cache; ``0`` disables pool sharing
+        entirely (every session samples for itself — the per-user baseline).
+    topk_cache_size:
+        Capacity of the shared top-k result cache; ``0`` disables it.
+    use_batch_sampler:
+        Fill missing pools with vectorised shared-block rejection sampling
+        (with per-set MCMC fallback) instead of the per-session sampler.
+    batch_block_size / batch_max_blocks:
+        Candidate-block parameters of the batch sampler.
+    maintain_on_miss:
+        On a pool-cache miss after feedback, keep the still-valid samples of
+        the session's previous pool and only top up the deficit (§3.4) rather
+        than resampling the full pool.
+    seed:
+        Engine-level seed; all per-session seeds derive from it.
+    """
+
+    elicitation: ElicitationConfig = field(default_factory=ElicitationConfig)
+    max_active_sessions: int = 10_000
+    session_ttl_seconds: Optional[float] = None
+    pool_cache_size: int = 512
+    topk_cache_size: int = 2_048
+    use_batch_sampler: bool = True
+    batch_block_size: int = 2_048
+    batch_max_blocks: int = 64
+    maintain_on_miss: bool = True
+    seed: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        if self.max_active_sessions <= 0:
+            raise ValueError(
+                f"max_active_sessions must be > 0, got {self.max_active_sessions}"
+            )
+        if self.pool_cache_size < 0 or self.topk_cache_size < 0:
+            raise ValueError("cache sizes must be >= 0")
+
+    @property
+    def sharing_enabled(self) -> bool:
+        """Whether any engine-level pool management is active."""
+        return (
+            self.pool_cache_size > 0
+            or self.topk_cache_size > 0
+            or self.use_batch_sampler
+        )
+
+
+@dataclass
+class EngineStats:
+    """A point-in-time view of the engine's counters."""
+
+    sessions_created: int
+    sessions_active: int
+    sessions_expired: int
+    sessions_swapped_out: int
+    sessions_restored: int
+    rounds_served: int
+    feedback_events: int
+    pools_sampled: int
+    pools_maintained: int
+    pool_cache: dict
+    topk_cache: dict
+
+    def as_dict(self) -> dict:
+        return {
+            "sessions_created": self.sessions_created,
+            "sessions_active": self.sessions_active,
+            "sessions_expired": self.sessions_expired,
+            "sessions_swapped_out": self.sessions_swapped_out,
+            "sessions_restored": self.sessions_restored,
+            "rounds_served": self.rounds_served,
+            "feedback_events": self.feedback_events,
+            "pools_sampled": self.pools_sampled,
+            "pools_maintained": self.pools_maintained,
+            "pool_cache": dict(self.pool_cache),
+            "topk_cache": dict(self.topk_cache),
+        }
+
+
+class RecommendationEngine:
+    """Serve many elicitation sessions over one catalog with shared caches.
+
+    Parameters
+    ----------
+    catalog / profile:
+        The item catalog and aggregate profile every session recommends over.
+    config:
+        Engine configuration (defaults are reasonable for tests and demos).
+    store:
+        Optional durable :class:`SessionStore` for swap-out and restarts.
+    predicates:
+        Optional package-schema predicates applied by every session.
+    clock:
+        Monotonic time source used for TTL/LRU bookkeeping (injectable).
+    """
+
+    def __init__(
+        self,
+        catalog: ItemCatalog,
+        profile: AggregateProfile,
+        config: Optional[EngineConfig] = None,
+        store: Optional[SessionStore] = None,
+        predicates: Optional[PredicateSet] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.catalog = catalog
+        self.profile = profile
+        self.config = config if config is not None else EngineConfig()
+        self.predicates = predicates
+        self.clock = clock
+        elicitation = self.config.elicitation
+        self._seed_rng = ensure_rng(self.config.seed)
+        # One prior shared by every session: pools are only interchangeable
+        # across sessions when they target the same prior distribution.
+        self.prior = GaussianMixture.default_prior(
+            catalog.num_features,
+            elicitation.num_prior_components,
+            elicitation.prior_spread,
+            rng=self._seed_rng,
+        )
+        self.batch_sampler = BatchRejectionSampler(
+            self.prior,
+            rng=self._seed_rng,
+            noise_probability=elicitation.noise_psi,
+            block_size=self.config.batch_block_size,
+            max_blocks=self.config.batch_max_blocks,
+        )
+        # Serial engine-level sampler of the *configured* kind, used for
+        # shared-cache pool builds when the batch sampler is disabled.
+        sampler_cls = {
+            "rejection": RejectionSampler,
+            "importance": ImportanceSampler,
+            "mcmc": MetropolisHastingsSampler,
+        }[elicitation.sampler]
+        self.serial_sampler: Sampler = sampler_cls(
+            self.prior,
+            rng=self._seed_rng,
+            noise_probability=elicitation.noise_psi,
+        )
+        self.pool_cache = SamplePoolCache(self.config.pool_cache_size)
+        self._topk_cache = LruCache(self.config.topk_cache_size)
+        self.sessions = SessionManager(
+            max_active=self.config.max_active_sessions,
+            ttl_seconds=self.config.session_ttl_seconds,
+            store=store,
+            snapshot_fn=self._snapshot_entry if store is not None else None,
+            restore_fn=self._restore_entry if store is not None else None,
+            clock=clock,
+        )
+        self._session_counter = 0
+        self._pool_build_counter = 0
+        self._freshly_prefetched: set = set()
+        self.sessions_created = 0
+        self.rounds_served = 0
+        self.feedback_events = 0
+        self.pools_sampled = 0
+        self.pools_maintained = 0
+
+    # =============================================================== lifecycle
+    def create_session(
+        self,
+        session_id: Optional[str] = None,
+        seed: Optional[int] = None,
+    ) -> str:
+        """Open a new elicitation session and return its id.
+
+        ``seed`` fixes the session's private randomness (exploration packages,
+        per-session sampler); by default one is derived from the engine seed.
+        """
+        self.sessions.sweep_expired()
+        if session_id is None:
+            # Skip over ids taken by restored/explicitly-named sessions.
+            while True:
+                self._session_counter += 1
+                session_id = f"sess-{self._session_counter:06d}"
+                if session_id not in self.sessions:
+                    break
+        elif session_id in self.sessions:
+            raise ValueError(f"session id {session_id!r} already exists")
+        if seed is None:
+            seed = int(self._seed_rng.integers(0, 2**31 - 1))
+        entry = self._new_entry(session_id, int(seed))
+        self.sessions.add(entry)
+        self.sessions_created += 1
+        return session_id
+
+    def _new_entry(self, session_id: str, seed: int) -> SessionEntry:
+        session_config = replace(self.config.elicitation, seed=seed)
+        recommender = PackageRecommender(
+            self.catalog,
+            self.profile,
+            config=session_config,
+            prior=self.prior,
+            predicates=self.predicates,
+        )
+        now = self.clock()
+        entry = SessionEntry(
+            session_id=session_id,
+            recommender=recommender,
+            seed=seed,
+            created_at=now,
+            last_access=now,
+        )
+        if self.config.sharing_enabled:
+            recommender.set_pool_provider(
+                lambda constraints, count, stale, _entry=entry: self._provide_pool(
+                    _entry, constraints, count, stale
+                )
+            )
+        return entry
+
+    def close(self, session_id: str) -> bool:
+        """Terminate a session (active or swapped out); returns whether it existed."""
+        return self.sessions.remove(session_id)
+
+    def _acquire(self, session_id: str, sweep: bool = True) -> SessionEntry:
+        # Acquire first so an expired *target* raises SessionExpiredError
+        # (a prior sweep would degrade it to SessionNotFoundError), then
+        # opportunistically expire the rest of the table.  Batched callers
+        # pass sweep=False and sweep once — a per-acquire sweep would make
+        # recommend_many O(batch x active).
+        entry = self.sessions.acquire(session_id)
+        if sweep:
+            self.sessions.sweep_expired()
+        return entry
+
+    # ============================================================ pool sourcing
+    def _pool_key(self, constraints: ConstraintSet, count: int) -> str:
+        return f"n{count}:{constraints.fingerprint()}"
+
+    def _stamp_pool(self, pool: SamplePool) -> SamplePool:
+        """Tag a freshly built pool with a unique build generation.
+
+        The top-k cache keys on (pool key, build); a pool evicted from the
+        pool cache and later rebuilt gets a new generation, so stale top-k
+        results computed from the evicted pool can never be served against
+        the rebuilt one.
+        """
+        self._pool_build_counter += 1
+        pool.stats["pool_build"] = self._pool_build_counter
+        return pool
+
+    def _provide_pool(
+        self,
+        entry: SessionEntry,
+        constraints: ConstraintSet,
+        count: int,
+        stale: Optional[SamplePool],
+    ) -> SamplePool:
+        key = self._pool_key(constraints, count)
+        if key in self._freshly_prefetched:
+            # The first fetch of a pool this engine's own prefetch just built
+            # is the miss that caused the build, not a cache win — count it
+            # honestly so hit_rate/samples_saved reflect genuinely shared work.
+            self._freshly_prefetched.discard(key)
+            pool = self.pool_cache.peek(key)
+            if pool is not None:
+                self.pool_cache.stats.misses += 1
+                entry.pool_key = key
+                return pool
+        pool = self.pool_cache.get(key)
+        if pool is None:
+            pool = self._stamp_pool(self._build_pool(constraints, count, stale))
+            self.pool_cache.put(key, pool)
+        entry.pool_key = key
+        return pool
+
+    def _build_pool(
+        self,
+        constraints: ConstraintSet,
+        count: int,
+        stale: Optional[SamplePool],
+    ) -> SamplePool:
+        surviving, deficit = self._maintenance_split(constraints, count, stale)
+        if surviving is not None:
+            self.pools_maintained += 1
+            if deficit <= 0:
+                return surviving
+            return surviving.concatenate(self._sample_fresh(constraints, deficit))
+        self.pools_sampled += 1
+        return self._sample_fresh(constraints, count)
+
+    def _maintenance_split(
+        self,
+        constraints: ConstraintSet,
+        count: int,
+        stale: Optional[SamplePool],
+    ):
+        """(surviving samples, deficit) of the §3.4 maintenance path, if usable."""
+        if stale is None or not self.config.maintain_on_miss or stale.size == 0:
+            return None, count
+        surviving = stale.subset(constraints.valid_mask(stale.samples))
+        if surviving.size > count:
+            surviving = surviving.subset(np.arange(count))
+        return surviving, count - surviving.size
+
+    def _sample_fresh(self, constraints: ConstraintSet, count: int) -> SamplePool:
+        if self.config.use_batch_sampler:
+            return self.batch_sampler.sample(count, constraints)
+        # Shared-cache mode without the batch sampler: honour the configured
+        # elicitation sampler for engine-level pool builds.
+        return self.serial_sampler.sample(count, constraints)
+
+    # ================================================================ serving
+    def recommend(self, session_id: str) -> RecommendationRound:
+        """Serve one recommendation round for a session."""
+        entry = self._acquire(session_id)
+        return self._serve_round(entry)
+
+    def recommend_many(
+        self, session_ids: Sequence[str]
+    ) -> List[RecommendationRound]:
+        """Serve one round for many sessions, batching the missing pools.
+
+        Sessions are grouped by constraint fingerprint; each distinct missing
+        pool is filled once (maintenance first, then shared-block batch draws
+        across groups) before the per-session rounds are produced.
+        """
+        entries: List[SessionEntry] = []
+        try:
+            for session_id in session_ids:
+                # Pin before acquiring: the acquire itself may restore from
+                # the store and enforce capacity, and neither this session
+                # nor the previously acquired ones may be swapped out before
+                # their rounds are served.
+                self.sessions.pin(session_id)
+                entries.append(self._acquire(session_id, sweep=False))
+            if self.config.pool_cache_size > 0:
+                # Without the pool cache there is nowhere to park a
+                # batch-built pool for the per-session providers to pick up,
+                # so prefetching would only duplicate the sampling each
+                # provider does anyway.
+                self._prefetch_pools(entries)
+            return [self._serve_round(entry) for entry in entries]
+        finally:
+            self.sessions.unpin(session_ids)
+            self.sessions.sweep_expired()
+
+    def _serve_round(self, entry: SessionEntry) -> RecommendationRound:
+        recommender = entry.recommender
+        recommended: Optional[List[Package]] = None
+        # The top-k cache is keyed by the pool-cache key plus the pool's
+        # build generation: the key alone only equals pool identity while
+        # pools are shared, and the generation guards against serving top-k
+        # lists computed from a pool that was evicted and rebuilt since.
+        if self.config.topk_cache_size > 0 and self.config.pool_cache_size > 0:
+            pool = recommender.sample_pool()  # ensures entry.pool_key is current
+            if entry.pool_key is not None:
+                config = recommender.config
+                build = pool.stats.get("pool_build")
+                key = (entry.pool_key, build, config.k, config.semantics.value)
+                cached = self._topk_cache.get(key)
+                if cached is None:
+                    recommended = recommender.current_top_k()
+                    self._topk_cache.put(key, tuple(recommended))
+                else:
+                    recommended = list(cached)
+        round_ = recommender.recommend(recommended=recommended)
+        entry.rounds_served += 1
+        self.rounds_served += 1
+        return round_
+
+    def feedback(
+        self, session_id: str, clicked: Union[int, Package]
+    ) -> int:
+        """Record a click for a session; returns the preferences added.
+
+        ``clicked`` is either the package object or its index into the most
+        recently served round's ``presented`` list.
+        """
+        entry = self._acquire(session_id)
+        recommender = entry.recommender
+        round_ = recommender.last_round
+        if round_ is None:
+            raise ValueError(
+                f"session {session_id!r} has no served round to give feedback on"
+            )
+        if isinstance(clicked, (int, np.integer)):
+            presented = round_.presented
+            index = int(clicked)
+            if not 0 <= index < len(presented):
+                raise ValueError(
+                    f"clicked index {index} out of range for "
+                    f"{len(presented)} presented packages"
+                )
+            clicked = presented[index]
+        added = recommender.feedback(clicked)
+        entry.feedback_events += 1
+        self.feedback_events += 1
+        return added
+
+    # ======================================================== batched sampling
+    def _prefetch_pools(self, entries: Sequence[SessionEntry]) -> None:
+        """Fill every distinct missing pool for ``entries`` with batched work."""
+        groups: Dict[str, dict] = {}
+        for entry in entries:
+            recommender = entry.recommender
+            if recommender.pending_pool is not None:
+                continue
+            constraints = recommender.constraints
+            count = recommender.config.num_samples
+            key = self._pool_key(constraints, count)
+            group = groups.setdefault(
+                key, {"constraints": constraints, "count": count, "stale": None}
+            )
+            if group["stale"] is None and recommender.stale_pool is not None:
+                group["stale"] = recommender.stale_pool
+        jobs = []  # (key, constraints, surviving, deficit)
+        for key, group in groups.items():
+            if key in self.pool_cache:
+                continue
+            surviving, deficit = self._maintenance_split(
+                group["constraints"], group["count"], group["stale"]
+            )
+            jobs.append((key, group["constraints"], surviving, deficit))
+        if not jobs:
+            return
+        pending = [job for job in jobs if job[3] > 0]
+        if pending and self.config.use_batch_sampler:
+            fresh = self.batch_sampler.sample_many(
+                [job[1] for job in pending], [job[3] for job in pending]
+            )
+        else:
+            fresh = [self._sample_fresh(job[1], job[3]) for job in pending]
+        fresh_by_key = {job[0]: pool for job, pool in zip(pending, fresh)}
+        for key, _constraints, surviving, deficit in jobs:
+            if surviving is not None:
+                self.pools_maintained += 1
+                pool = (
+                    surviving
+                    if deficit <= 0
+                    else surviving.concatenate(fresh_by_key[key])
+                )
+            else:
+                self.pools_sampled += 1
+                pool = fresh_by_key[key]
+            self.pool_cache.put(key, self._stamp_pool(pool))
+            self._freshly_prefetched.add(key)
+
+    # ======================================================= snapshot / restore
+    def snapshot(self, session_id: str) -> dict:
+        """A JSON-serialisable snapshot of a session's full state.
+
+        Restoring the snapshot (in this or a fresh engine over the same
+        catalog and configuration) reproduces the session exactly: same
+        pending pool, same RNG stream, same next recommendation.
+        """
+        entry = self._acquire(session_id)
+        return self._snapshot_entry(entry)
+
+    def _snapshot_entry(self, entry: SessionEntry) -> dict:
+        recommender = entry.recommender
+        # Materialise the pending pool first: after feedback the pool is
+        # rebuilt lazily, and a snapshot without it could not reproduce the
+        # next recommendation (the rebuild draws fresh randomness).  This
+        # makes swap-out of a just-fed session pay one pool build inside the
+        # evicting request — the price of the exact round-trip guarantee
+        # (see ROADMAP "snapshot compaction" for the async alternative).
+        pool = recommender.sample_pool()
+        last_round = recommender.last_round
+        return {
+            "version": SNAPSHOT_VERSION,
+            "session_id": entry.session_id,
+            "seed": entry.seed,
+            "created_at": entry.created_at,
+            "rounds_served": entry.rounds_served,
+            "feedback_events": entry.feedback_events,
+            "rounds_presented": recommender.rounds_presented,
+            "clicks_received": recommender.clicks_received,
+            "preferences": [
+                {
+                    "preferred": list(p.preferred.items),
+                    "other": list(p.other.items),
+                    "preferred_vector": list(p.preferred_vector),
+                    "other_vector": list(p.other_vector),
+                }
+                for p in recommender.preferences.preferences
+            ],
+            "last_round": (
+                {
+                    "recommended": [list(p.items) for p in last_round.recommended],
+                    "random": [list(p.items) for p in last_round.random_packages],
+                }
+                if last_round is not None
+                else None
+            ),
+            "rng_state": recommender.rng.bit_generator.state,
+            "pool": {
+                "key": entry.pool_key,
+                "samples": pool.samples.tolist(),
+                "weights": pool.weights.tolist(),
+            },
+        }
+
+    def restore(self, payload: dict, replace_existing: bool = False) -> str:
+        """Rebuild a session from a :meth:`snapshot` payload and register it."""
+        version = payload.get("version")
+        if version != SNAPSHOT_VERSION:
+            raise ValueError(
+                f"unsupported snapshot version {version!r} "
+                f"(engine writes version {SNAPSHOT_VERSION})"
+            )
+        session_id = payload["session_id"]
+        if session_id in self.sessions:
+            if not replace_existing:
+                raise ValueError(
+                    f"session id {session_id!r} already exists; "
+                    f"pass replace_existing=True to overwrite"
+                )
+            self.sessions.remove(session_id)
+        entry = self._restore_entry(payload)
+        self.sessions.add(entry)
+        return session_id
+
+    def _restore_entry(self, payload: dict) -> SessionEntry:
+        entry = self._new_entry(payload["session_id"], int(payload["seed"]))
+        recommender = entry.recommender
+        entry.created_at = payload["created_at"]
+        entry.rounds_served = payload["rounds_served"]
+        entry.feedback_events = payload["feedback_events"]
+        recommender.rounds_presented = payload["rounds_presented"]
+        recommender.clicks_received = payload["clicks_received"]
+        for item in payload["preferences"]:
+            recommender.preferences.add(
+                Preference.from_vectors(
+                    np.asarray(item["preferred_vector"], dtype=float),
+                    np.asarray(item["other_vector"], dtype=float),
+                    preferred=Package(tuple(int(i) for i in item["preferred"])),
+                    other=Package(tuple(int(i) for i in item["other"])),
+                )
+            )
+        if payload["last_round"] is not None:
+            recommender._last_round = RecommendationRound(
+                [
+                    Package(tuple(int(i) for i in items))
+                    for items in payload["last_round"]["recommended"]
+                ],
+                [
+                    Package(tuple(int(i) for i in items))
+                    for items in payload["last_round"]["random"]
+                ],
+            )
+        recommender.rng.bit_generator.state = payload["rng_state"]
+        if payload["pool"] is not None:  # tolerate pool-less external payloads
+            pool = self._stamp_pool(
+                SamplePool(
+                    np.asarray(payload["pool"]["samples"], dtype=float),
+                    np.asarray(payload["pool"]["weights"], dtype=float),
+                    {"sampler": "snapshot"},
+                )
+            )
+            recommender.set_pool(pool)
+            key = payload["pool"]["key"]
+            entry.pool_key = key
+            if key is not None:
+                self.pool_cache.put(key, pool)
+        return entry
+
+    # ================================================================== stats
+    def stats(self) -> EngineStats:
+        """Current serving counters (sessions, rounds, cache efficiency)."""
+        pool_stats = self.pool_cache.stats.as_dict()
+        pool_stats["samples_saved"] = self.pool_cache.samples_saved
+        return EngineStats(
+            sessions_created=self.sessions_created,
+            sessions_active=len(self.sessions),
+            sessions_expired=self.sessions.sessions_expired,
+            sessions_swapped_out=self.sessions.sessions_swapped_out,
+            sessions_restored=self.sessions.sessions_restored,
+            rounds_served=self.rounds_served,
+            feedback_events=self.feedback_events,
+            pools_sampled=self.pools_sampled,
+            pools_maintained=self.pools_maintained,
+            pool_cache=pool_stats,
+            topk_cache=self._topk_cache.stats.as_dict(),
+        )

@@ -1,0 +1,189 @@
+"""Durable session-state stores for swap-out/restore and snapshots.
+
+The serving engine keeps only a bounded number of sessions in memory; the
+rest live in a :class:`SessionStore` as JSON payloads produced by
+:meth:`RecommendationEngine.snapshot`.  Two durable backends are provided:
+
+* :class:`JsonSessionStore` — one ``<session_id>.json`` file per session,
+  trivially inspectable and diff-friendly;
+* :class:`SqliteSessionStore` — a single SQLite database in WAL mode
+  (concurrent readers while the engine writes), with the session id as the
+  primary key and ISO-8601 UTC timestamps, following the schema conventions
+  of the related-work snippets.
+
+:class:`MemorySessionStore` backs tests and single-process engines that only
+need swap-out semantics without durability.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import os
+import sqlite3
+from datetime import datetime, timezone
+from typing import Dict, List, Optional
+from urllib.parse import quote, unquote
+
+
+def _utc_now_iso() -> str:
+    return datetime.now(timezone.utc).isoformat()
+
+
+class SessionStore(abc.ABC):
+    """Abstract keyed store of JSON-serialisable session snapshots."""
+
+    @abc.abstractmethod
+    def save(self, session_id: str, payload: dict) -> None:
+        """Persist (or overwrite) the snapshot for ``session_id``."""
+
+    @abc.abstractmethod
+    def load(self, session_id: str) -> Optional[dict]:
+        """The stored snapshot, or ``None`` when the id is unknown."""
+
+    @abc.abstractmethod
+    def delete(self, session_id: str) -> bool:
+        """Remove a snapshot; returns whether one existed."""
+
+    @abc.abstractmethod
+    def list_ids(self) -> List[str]:
+        """Ids of every stored snapshot (sorted)."""
+
+    def __contains__(self, session_id: str) -> bool:
+        return self.load(session_id) is not None
+
+
+class MemorySessionStore(SessionStore):
+    """In-process dictionary store (no durability; useful for tests)."""
+
+    def __init__(self) -> None:
+        self._payloads: Dict[str, dict] = {}
+
+    def save(self, session_id: str, payload: dict) -> None:
+        self._payloads[session_id] = json.loads(json.dumps(payload))
+
+    def load(self, session_id: str) -> Optional[dict]:
+        payload = self._payloads.get(session_id)
+        return json.loads(json.dumps(payload)) if payload is not None else None
+
+    def delete(self, session_id: str) -> bool:
+        return self._payloads.pop(session_id, None) is not None
+
+    def list_ids(self) -> List[str]:
+        return sorted(self._payloads)
+
+
+class JsonSessionStore(SessionStore):
+    """One JSON file per session under a directory."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def _path(self, session_id: str) -> str:
+        # Percent-encoding is collision-free and reversible, so arbitrary
+        # session ids ("a/b" vs "a_b") can never overwrite each other's files.
+        return os.path.join(self.directory, f"{quote(session_id, safe='')}.json")
+
+    def save(self, session_id: str, payload: dict) -> None:
+        path = self._path(session_id)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump({"saved_at": _utc_now_iso(), "payload": payload}, handle)
+        os.replace(tmp, path)  # atomic on POSIX: readers never see partial JSON
+
+    def load(self, session_id: str) -> Optional[dict]:
+        path = self._path(session_id)
+        if not os.path.exists(path):
+            return None
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)["payload"]
+
+    def delete(self, session_id: str) -> bool:
+        path = self._path(session_id)
+        if not os.path.exists(path):
+            return False
+        os.remove(path)
+        return True
+
+    def list_ids(self) -> List[str]:
+        return sorted(
+            unquote(name[: -len(".json")])
+            for name in os.listdir(self.directory)
+            if name.endswith(".json")
+        )
+
+
+class SqliteSessionStore(SessionStore):
+    """SQLite-backed store in WAL mode.
+
+    Schema::
+
+        sessions(
+            session_id TEXT PRIMARY KEY,
+            created_at TEXT NOT NULL,   -- ISO-8601 UTC
+            updated_at TEXT NOT NULL,   -- ISO-8601 UTC
+            payload    TEXT NOT NULL    -- JSON snapshot
+        )
+    """
+
+    _PRAGMAS = (
+        ("journal_mode", "WAL"),
+        ("synchronous", "NORMAL"),
+        ("busy_timeout", "30000"),
+    )
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._connection = sqlite3.connect(path)
+        for pragma, value in self._PRAGMAS:
+            self._connection.execute(f"PRAGMA {pragma}={value}")
+        self._connection.execute(
+            """
+            CREATE TABLE IF NOT EXISTS sessions (
+                session_id TEXT PRIMARY KEY,
+                created_at TEXT NOT NULL,
+                updated_at TEXT NOT NULL,
+                payload    TEXT NOT NULL
+            )
+            """
+        )
+        self._connection.commit()
+
+    def save(self, session_id: str, payload: dict) -> None:
+        now = _utc_now_iso()
+        self._connection.execute(
+            """
+            INSERT INTO sessions (session_id, created_at, updated_at, payload)
+            VALUES (?, ?, ?, ?)
+            ON CONFLICT(session_id) DO UPDATE
+            SET updated_at = excluded.updated_at, payload = excluded.payload
+            """,
+            (session_id, now, now, json.dumps(payload)),
+        )
+        self._connection.commit()
+
+    def load(self, session_id: str) -> Optional[dict]:
+        row = self._connection.execute(
+            "SELECT payload FROM sessions WHERE session_id = ?", (session_id,)
+        ).fetchone()
+        return json.loads(row[0]) if row is not None else None
+
+    def delete(self, session_id: str) -> bool:
+        cursor = self._connection.execute(
+            "DELETE FROM sessions WHERE session_id = ?", (session_id,)
+        )
+        self._connection.commit()
+        return cursor.rowcount > 0
+
+    def list_ids(self) -> List[str]:
+        rows = self._connection.execute(
+            "SELECT session_id FROM sessions ORDER BY session_id"
+        ).fetchall()
+        return [row[0] for row in rows]
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._connection.close()

@@ -11,5 +11,13 @@ reports how many clicks the system needs before its top-k list stabilises.
 
 from repro.simulation.user import SimulatedUser
 from repro.simulation.session import ElicitationSession, SessionResult
+from repro.simulation.traffic import LoadReport, TrafficSimulator, WorkloadSpec
 
-__all__ = ["SimulatedUser", "ElicitationSession", "SessionResult"]
+__all__ = [
+    "SimulatedUser",
+    "ElicitationSession",
+    "SessionResult",
+    "TrafficSimulator",
+    "WorkloadSpec",
+    "LoadReport",
+]

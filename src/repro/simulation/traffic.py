@@ -1,0 +1,193 @@
+"""Closed-loop traffic generation against a :class:`RecommendationEngine`.
+
+Where :class:`~repro.simulation.session.ElicitationSession` drives one
+recommender with one simulated user, :class:`TrafficSimulator` drives an
+*engine* with a whole population: it opens many sessions, serves them in
+rounds, feeds every user's click back, and measures throughput and per-round
+latency.  Two canonical workloads matter for the serving layer:
+
+* **identical-prefix** — every user shares the same hidden utility and every
+  session the same private seed, so all feedback prefixes coincide; this is
+  the best case for the shared sample-pool and top-k caches (think: a burst
+  of anonymous cold-start users being onboarded with the same script);
+* **heterogeneous** — independent utilities and seeds per user, the worst
+  case where sharing only helps on the empty-feedback first round.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.packages import PackageEvaluator
+from repro.core.utility import sample_random_utility
+from repro.service.engine import RecommendationEngine
+from repro.simulation.user import SimulatedUser
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class WorkloadSpec:
+    """Shape of a simulated traffic run.
+
+    Attributes
+    ----------
+    num_sessions:
+        Number of concurrent sessions opened.
+    rounds:
+        Recommendation/feedback rounds every session goes through.
+    identical_prefix:
+        Same hidden utility and session seed for everyone (cache best case)
+        versus fully independent users (cache worst case).
+    user_seed:
+        Seed for the population's hidden utilities.
+    session_seed:
+        Private seed shared by every session in identical-prefix mode;
+        ignored (per-session derived seeds) otherwise.
+    batched:
+        Serve rounds via :meth:`RecommendationEngine.recommend_many` (pool
+        filling batched across sessions) instead of per-session calls.
+    """
+
+    num_sessions: int = 50
+    rounds: int = 3
+    identical_prefix: bool = True
+    user_seed: int = 0
+    session_seed: int = 0
+    batched: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_sessions <= 0:
+            raise ValueError(f"num_sessions must be > 0, got {self.num_sessions}")
+        if self.rounds <= 0:
+            raise ValueError(f"rounds must be > 0, got {self.rounds}")
+
+
+@dataclass
+class LoadReport:
+    """Measured outcome of one traffic run."""
+
+    num_sessions: int
+    rounds: int
+    rounds_served: int
+    feedback_events: int
+    total_seconds: float
+    sessions_per_sec: float
+    rounds_per_sec: float
+    p50_round_latency_ms: float
+    p95_round_latency_ms: float
+    engine_stats: dict = field(default_factory=dict)
+
+    def format(self, label: str = "workload") -> str:
+        """A compact human-readable summary block."""
+        pool = self.engine_stats.get("pool_cache", {})
+        topk = self.engine_stats.get("topk_cache", {})
+        lines = [
+            f"[{label}]",
+            f"  sessions={self.num_sessions} rounds={self.rounds} "
+            f"rounds_served={self.rounds_served} feedback={self.feedback_events}",
+            f"  total={self.total_seconds:.3f}s "
+            f"sessions/sec={self.sessions_per_sec:.2f} "
+            f"rounds/sec={self.rounds_per_sec:.2f}",
+            f"  round latency p50={self.p50_round_latency_ms:.2f}ms "
+            f"p95={self.p95_round_latency_ms:.2f}ms",
+            f"  pool cache: hits={pool.get('hits', 0)} misses={pool.get('misses', 0)} "
+            f"hit_rate={pool.get('hit_rate', 0.0):.2f} "
+            f"samples_saved={pool.get('samples_saved', 0)}",
+            f"  topk cache: hits={topk.get('hits', 0)} misses={topk.get('misses', 0)} "
+            f"hit_rate={topk.get('hit_rate', 0.0):.2f}",
+            f"  pools sampled={self.engine_stats.get('pools_sampled', 0)} "
+            f"maintained={self.engine_stats.get('pools_maintained', 0)}",
+        ]
+        return "\n".join(lines)
+
+
+class TrafficSimulator:
+    """Drive an engine with a population of simulated users.
+
+    Parameters
+    ----------
+    engine:
+        The serving engine under load.
+    spec:
+        Workload shape (sessions, rounds, homogeneity, batching).
+    """
+
+    def __init__(self, engine: RecommendationEngine, spec: WorkloadSpec) -> None:
+        self.engine = engine
+        self.spec = spec
+        self.evaluator = PackageEvaluator(
+            engine.catalog,
+            engine.profile,
+            engine.config.elicitation.max_package_size,
+        )
+
+    def _build_users(self) -> List[SimulatedUser]:
+        spec = self.spec
+        rng = ensure_rng(spec.user_seed)
+        if spec.identical_prefix:
+            utility = sample_random_utility(self.evaluator.num_features, rng)
+            return [
+                SimulatedUser(utility, self.evaluator, rng=spec.user_seed)
+                for _ in range(spec.num_sessions)
+            ]
+        return [
+            SimulatedUser.random(self.evaluator, rng=child)
+            for child in np.random.default_rng(spec.user_seed).spawn(spec.num_sessions)
+        ]
+
+    def run(self) -> LoadReport:
+        """Execute the workload and measure throughput and latency."""
+        spec = self.spec
+        engine = self.engine
+        users = self._build_users()
+        start = time.perf_counter()
+        session_ids = []
+        for index in range(spec.num_sessions):
+            seed = (
+                spec.session_seed
+                if spec.identical_prefix
+                else spec.session_seed + 7919 * (index + 1)
+            )
+            session_ids.append(engine.create_session(seed=seed))
+
+        latencies: List[float] = []
+        feedback_events = 0
+        rounds_served = 0
+        for _round_index in range(spec.rounds):
+            if spec.batched:
+                tick = time.perf_counter()
+                rounds = engine.recommend_many(session_ids)
+                elapsed = time.perf_counter() - tick
+                # recommend_many amortises pool filling across sessions; the
+                # honest per-session figure is the amortised share.
+                latencies.extend([elapsed / len(session_ids)] * len(session_ids))
+            else:
+                rounds = []
+                for session_id in session_ids:
+                    tick = time.perf_counter()
+                    rounds.append(engine.recommend(session_id))
+                    latencies.append(time.perf_counter() - tick)
+            rounds_served += len(rounds)
+            for session_id, user, round_ in zip(session_ids, users, rounds):
+                clicked = user.click(round_.presented)
+                engine.feedback(session_id, clicked)
+                feedback_events += 1
+        total_seconds = time.perf_counter() - start
+
+        latency_array = np.asarray(latencies)
+        return LoadReport(
+            num_sessions=spec.num_sessions,
+            rounds=spec.rounds,
+            rounds_served=rounds_served,
+            feedback_events=feedback_events,
+            total_seconds=total_seconds,
+            sessions_per_sec=spec.num_sessions / total_seconds,
+            rounds_per_sec=rounds_served / total_seconds if total_seconds else 0.0,
+            p50_round_latency_ms=float(np.percentile(latency_array, 50) * 1e3),
+            p95_round_latency_ms=float(np.percentile(latency_array, 95) * 1e3),
+            engine_stats=engine.stats().as_dict(),
+        )

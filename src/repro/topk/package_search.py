@@ -204,6 +204,25 @@ class TopKPackageSearcher:
             weights, discovered, k, lists.num_accessed, candidates_generated
         )
 
+    def search_many(
+        self, weights_matrix: np.ndarray, k: int
+    ) -> List[PackageSearchResult]:
+        """Run ``Top-k-Pkg`` for every row of ``weights_matrix``.
+
+        Duplicate weight vectors are searched only once and the shared result
+        is fanned back out, preserving row order.  Pools produced by MCMC
+        sampling repeat the chain state whenever a proposal is rejected, and
+        pools shared across serving sessions are searched with identical
+        vectors, so deduplication removes most of the per-sample search cost
+        in both the single-user and the serving path.
+        """
+        matrix = np.atleast_2d(np.asarray(weights_matrix, dtype=float))
+        if matrix.shape[0] == 0:
+            return []
+        unique, inverse = np.unique(matrix, axis=0, return_inverse=True)
+        unique_results = [self.search(unique[i], k) for i in range(unique.shape[0])]
+        return [unique_results[j] for j in np.ravel(inverse)]
+
     def _all_zero_weight_result(self, k: int) -> PackageSearchResult:
         """Top-k when every weight is zero: the k smallest package ids, utility 0."""
         phi = self.evaluator.max_package_size

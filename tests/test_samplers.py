@@ -175,3 +175,21 @@ class TestMetropolisHastingsSampler:
         pool = MetropolisHastingsSampler(two_dim_prior, rng=0).sample(50, half_plane_constraints)
         assert pool.stats["sampler"] == "MS"
         assert pool.stats["chain_steps"] > 0
+
+
+class TestMcmcSeedFallback:
+    def test_chain_seeds_via_interior_point_when_rejection_fails(self):
+        """A tiny-prior-mass cone (many constraints, 10 features) must still
+        be sampleable: the chain falls back to the Chebyshev interior point
+        when rejection seeding exhausts its budget."""
+        rng = np.random.default_rng(3)
+        hidden = rng.uniform(-1, 1, 10)
+        hidden /= np.linalg.norm(hidden)
+        directions = rng.normal(size=(80, 10))
+        directions[directions @ hidden < 0] *= -1
+        constraints = ConstraintSet(directions)
+        prior = GaussianMixture.default_prior(10, rng=0)
+        sampler = MetropolisHastingsSampler(prior, rng=1)
+        pool = sampler.sample(30, constraints)
+        assert pool.size == 30
+        assert constraints.valid_mask(pool.samples).all()

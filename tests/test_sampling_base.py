@@ -113,3 +113,45 @@ class TestSamplePool:
         balanced = SamplePool(np.zeros((4, 1)), np.ones(4))
         skewed = SamplePool(np.zeros((4, 1)), np.array([100.0, 1.0, 1.0, 1.0]))
         assert skewed.effective_sample_size() < balanced.effective_sample_size()
+
+
+class TestInteriorPoint:
+    def test_empty_constraints_give_the_origin(self):
+        point = ConstraintSet.empty(3).interior_point()
+        assert np.allclose(point, np.zeros(3))
+
+    def test_interior_point_is_strictly_valid(self):
+        rng = np.random.default_rng(0)
+        hidden = rng.uniform(-1, 1, 8)
+        hidden /= np.linalg.norm(hidden)
+        directions = rng.normal(size=(40, 8))
+        directions[directions @ hidden < 0] *= -1  # consistent feedback cone
+        constraints = ConstraintSet(directions)
+        point = constraints.interior_point()
+        assert point is not None
+        assert constraints.is_valid(point)
+        # Strict slack against every constraint, not just boundary validity.
+        assert (directions @ point > 0).all()
+
+    def test_degenerate_cone_returns_none(self):
+        flat = ConstraintSet(np.array([[1.0, 0.0], [-1.0, 0.0]]))
+        assert flat.interior_point() is None
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            ConstraintSet.empty(2).interior_point(bound=0.0)
+
+
+class TestFingerprintAndCopy:
+    def test_fingerprint_is_order_and_sign_of_zero_invariant(self):
+        a = ConstraintSet(np.array([[1.0, -0.5], [0.0, 0.25]]))
+        b = ConstraintSet(np.array([[-0.0, 0.25], [1.0, -0.5]]))
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_pool_copy_is_deep(self):
+        pool = SamplePool.unweighted(np.ones((2, 2)), {"sampler": "RS"})
+        clone = pool.copy()
+        clone.samples[0, 0] = 9.0
+        clone.stats["sampler"] = "other"
+        assert pool.samples[0, 0] == 1.0
+        assert pool.stats["sampler"] == "RS"

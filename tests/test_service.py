@@ -1,0 +1,623 @@
+"""Tests for the online serving engine (repro.service) and its load generator.
+
+Covers the satellite edge cases called out for the serving subsystem: pool
+cache hit/miss accounting and LRU eviction, session TTL expiry, LRU swap-out
+with transparent restore, and the snapshot → restore → identical
+recommendation round-trip — plus the batched sampler and the fingerprint
+keying everything.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.elicitation import ElicitationConfig
+from repro.core.items import ItemCatalog
+from repro.core.profiles import AggregateProfile
+from repro.sampling.base import ConstraintSet, SamplePool
+from repro.sampling.batch import BatchRejectionSampler
+from repro.sampling.gaussian_mixture import GaussianMixture
+from repro.service import (
+    EngineConfig,
+    JsonSessionStore,
+    LruCache,
+    MemorySessionStore,
+    RecommendationEngine,
+    SamplePoolCache,
+    SessionExpiredError,
+    SessionNotFoundError,
+    SqliteSessionStore,
+)
+from repro.simulation.traffic import TrafficSimulator, WorkloadSpec
+from repro.topk.package_search import TopKPackageSearcher
+
+
+class FakeClock:
+    """A manually advanced monotonic clock for TTL tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def serving_catalog() -> ItemCatalog:
+    rng = np.random.default_rng(11)
+    return ItemCatalog(rng.random((30, 3)))
+
+
+@pytest.fixture
+def serving_profile() -> AggregateProfile:
+    return AggregateProfile(["sum", "avg", "max"])
+
+
+def fast_elicitation_config(**overrides) -> ElicitationConfig:
+    defaults = dict(
+        k=2,
+        num_random=2,
+        max_package_size=2,
+        num_samples=40,
+        sampler="mcmc",
+        search_sample_budget=3,
+        search_beam_width=60,
+        search_items_cap=25,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return ElicitationConfig(**defaults)
+
+
+def make_engine(catalog, profile, clock=None, store=None, **config_overrides):
+    config = EngineConfig(
+        elicitation=fast_elicitation_config(), seed=1, **config_overrides
+    )
+    kwargs = {"store": store}
+    if clock is not None:
+        kwargs["clock"] = clock
+    return RecommendationEngine(catalog, profile, config, **kwargs)
+
+
+def presented_items(round_):
+    return [p.items for p in round_.presented]
+
+
+# ================================================================ fingerprint
+class TestConstraintFingerprint:
+    def test_empty_sets_share_a_fingerprint(self):
+        a = ConstraintSet.empty(4)
+        b = ConstraintSet.empty(4)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_row_order_is_canonicalised(self):
+        d1 = np.array([[1.0, -0.5], [0.25, 0.75]])
+        d2 = d1[::-1].copy()
+        assert ConstraintSet(d1).fingerprint() == ConstraintSet(d2).fingerprint()
+
+    def test_different_directions_differ(self):
+        a = ConstraintSet(np.array([[1.0, 0.0]]))
+        b = ConstraintSet(np.array([[0.0, 1.0]]))
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_dimension_is_part_of_the_key(self):
+        assert ConstraintSet.empty(3).fingerprint() != ConstraintSet.empty(4).fingerprint()
+
+    def test_negative_zero_is_normalised(self):
+        a = ConstraintSet(np.array([[0.0, 1.0]]))
+        b = ConstraintSet(np.array([[-0.0, 1.0]]))
+        assert a.fingerprint() == b.fingerprint()
+
+
+# ==================================================================== caches
+class TestLruCache:
+    def test_hit_miss_and_eviction_accounting(self):
+        cache = LruCache(maxsize=2)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1
+        cache.put("c", 3)  # evicts "b": "a" was refreshed by the get above
+        assert cache.get("b") is None
+        assert cache.get("c") == 3
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 2
+        assert cache.stats.evictions == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_zero_capacity_disables_the_cache(self):
+        cache = LruCache(maxsize=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_sample_pool_cache_counts_saved_samples(self):
+        cache = SamplePoolCache(maxsize=4)
+        pool = SamplePool.unweighted(np.zeros((7, 2)))
+        cache.put("k", pool)
+        assert cache.get("k") is pool
+        assert cache.samples_saved == 7
+
+    def test_sample_pool_cache_rejects_non_pools(self):
+        cache = SamplePoolCache(maxsize=4)
+        with pytest.raises(TypeError):
+            cache.put("k", [1, 2, 3])
+
+
+# ============================================================== batch sampler
+class TestBatchRejectionSampler:
+    def test_pools_are_valid_and_sized(self):
+        prior = GaussianMixture.default_prior(3, rng=0)
+        sampler = BatchRejectionSampler(prior, rng=0, block_size=512)
+        sets = [
+            ConstraintSet.empty(3),
+            ConstraintSet(np.array([[1.0, 0.0, 0.0]])),
+            ConstraintSet(np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]])),
+        ]
+        pools = sampler.sample_many(sets, [20, 30, 40])
+        assert [p.size for p in pools] == [20, 30, 40]
+        for constraints, pool in zip(sets, pools):
+            assert constraints.valid_mask(pool.samples).all()
+
+    def test_scalar_count_broadcasts(self):
+        prior = GaussianMixture.default_prior(2, rng=0)
+        sampler = BatchRejectionSampler(prior, rng=0, block_size=256)
+        pools = sampler.sample_many([ConstraintSet.empty(2)] * 3, 10)
+        assert [p.size for p in pools] == [10, 10, 10]
+
+    def test_single_sample_api_matches_abc(self):
+        prior = GaussianMixture.default_prior(2, rng=0)
+        sampler = BatchRejectionSampler(prior, rng=0, block_size=256)
+        pool = sampler.sample(15, ConstraintSet.empty(2))
+        assert pool.size == 15
+
+    def test_mcmc_fallback_fills_tiny_regions(self):
+        prior = GaussianMixture.default_prior(2, rng=0)
+        sampler = BatchRejectionSampler(prior, rng=0, block_size=64, max_blocks=1)
+        # A thin wedge around +x the single small block will surely underfill.
+        tight = ConstraintSet(
+            np.array([[1.0, 0.0], [0.02, -1.0], [0.02, 1.0]])
+        )
+        pool = sampler.sample(25, tight)
+        assert pool.size == 25
+        assert tight.valid_mask(pool.samples).all()
+
+
+# ============================================================== engine basics
+class TestEngineBasics:
+    def test_request_response_loop(self, serving_catalog, serving_profile):
+        engine = make_engine(serving_catalog, serving_profile)
+        session_id = engine.create_session()
+        round_ = engine.recommend(session_id)
+        assert len(round_.recommended) == 2
+        added = engine.feedback(session_id, 0)
+        assert added >= 0
+        assert engine.close(session_id)
+        with pytest.raises(SessionNotFoundError):
+            engine.recommend(session_id)
+
+    def test_feedback_by_index_matches_feedback_by_package(
+        self, serving_catalog, serving_profile
+    ):
+        engine = make_engine(serving_catalog, serving_profile)
+        a = engine.create_session(seed=3)
+        b = engine.create_session(seed=3)
+        round_a = engine.recommend(a)
+        round_b = engine.recommend(b)
+        engine.feedback(a, 1)
+        engine.feedback(b, round_b.presented[1])
+        assert presented_items(engine.recommend(a)) == presented_items(
+            engine.recommend(b)
+        )
+
+    def test_unknown_session_raises(self, serving_catalog, serving_profile):
+        engine = make_engine(serving_catalog, serving_profile)
+        with pytest.raises(SessionNotFoundError):
+            engine.recommend("nope")
+
+    def test_duplicate_session_id_rejected(self, serving_catalog, serving_profile):
+        engine = make_engine(serving_catalog, serving_profile)
+        engine.create_session(session_id="u1")
+        with pytest.raises(ValueError):
+            engine.create_session(session_id="u1")
+
+    def test_feedback_requires_a_served_round(self, serving_catalog, serving_profile):
+        engine = make_engine(serving_catalog, serving_profile)
+        session_id = engine.create_session()
+        with pytest.raises(ValueError):
+            engine.feedback(session_id, 0)
+
+
+# ======================================================== shared pool caching
+class TestPoolSharing:
+    def test_identical_prefix_sessions_share_one_pool(
+        self, serving_catalog, serving_profile
+    ):
+        engine = make_engine(serving_catalog, serving_profile)
+        a = engine.create_session(seed=7)
+        b = engine.create_session(seed=7)
+        engine.recommend(a)
+        stats_after_first = engine.stats()
+        assert stats_after_first.pool_cache["misses"] == 1
+        engine.recommend(b)
+        stats = engine.stats()
+        assert stats.pool_cache["hits"] >= 1
+        assert stats.pool_cache["misses"] == 1  # second session never sampled
+        assert stats.pools_sampled == 1
+
+    def test_pool_cache_eviction_is_bounded(self, serving_catalog, serving_profile):
+        engine = make_engine(serving_catalog, serving_profile, pool_cache_size=1)
+        a = engine.create_session(seed=1)
+        engine.recommend(a)
+        engine.feedback(a, 0)
+        engine.recommend(a)  # new fingerprint evicts the empty-prefix pool
+        stats = engine.stats()
+        assert stats.pool_cache["evictions"] >= 1
+        assert len(engine.pool_cache) == 1
+
+    def test_maintenance_reuses_surviving_samples_on_miss(
+        self, serving_catalog, serving_profile
+    ):
+        engine = make_engine(serving_catalog, serving_profile)
+        session_id = engine.create_session(seed=2)
+        engine.recommend(session_id)
+        engine.feedback(session_id, 0)
+        engine.recommend(session_id)
+        stats = engine.stats()
+        assert stats.pools_maintained >= 1
+        # The maintained pool must satisfy the updated constraint set.
+        entry = engine.sessions.acquire(session_id)
+        pool = entry.recommender.sample_pool()
+        constraints = entry.recommender.constraints
+        assert constraints.valid_mask(pool.samples).all()
+
+    def test_disabled_sharing_keeps_sessions_independent(
+        self, serving_catalog, serving_profile
+    ):
+        engine = make_engine(
+            serving_catalog,
+            serving_profile,
+            pool_cache_size=0,
+            topk_cache_size=0,
+            use_batch_sampler=False,
+        )
+        a = engine.create_session(seed=7)
+        b = engine.create_session(seed=7)
+        ra = engine.recommend(a)
+        rb = engine.recommend(b)
+        # Same seeds still mean identical behaviour — just without sharing.
+        assert presented_items(ra) == presented_items(rb)
+        stats = engine.stats()
+        assert stats.pool_cache["hits"] == 0
+        assert stats.pool_cache["misses"] == 0
+        assert stats.pool_cache["puts"] == 0
+
+    def test_batched_recommend_many_matches_serial(
+        self, serving_catalog, serving_profile
+    ):
+        serial = make_engine(serving_catalog, serving_profile)
+        batched = make_engine(serving_catalog, serving_profile)
+        ids_serial = [serial.create_session(seed=4) for _ in range(3)]
+        ids_batched = [batched.create_session(seed=4) for _ in range(3)]
+        serial_rounds = [serial.recommend(sid) for sid in ids_serial]
+        batched_rounds = batched.recommend_many(ids_batched)
+        assert [presented_items(r) for r in serial_rounds] == [
+            presented_items(r) for r in batched_rounds
+        ]
+
+
+# ========================================================== session lifecycle
+class TestSessionLifecycle:
+    def test_ttl_expiry(self, serving_catalog, serving_profile):
+        clock = FakeClock()
+        engine = make_engine(
+            serving_catalog, serving_profile, clock=clock, session_ttl_seconds=10.0
+        )
+        session_id = engine.create_session()
+        engine.recommend(session_id)
+        clock.advance(5.0)
+        engine.recommend(session_id)  # touch keeps it alive
+        clock.advance(10.5)
+        with pytest.raises(SessionExpiredError):
+            engine.recommend(session_id)
+        assert engine.stats().sessions_expired == 1
+
+    def test_ttl_sweep_expires_idle_sessions(self, serving_catalog, serving_profile):
+        clock = FakeClock()
+        engine = make_engine(
+            serving_catalog, serving_profile, clock=clock, session_ttl_seconds=10.0
+        )
+        engine.create_session(session_id="idle")
+        clock.advance(20.0)
+        engine.create_session(session_id="fresh")  # creation sweeps the table
+        assert engine.stats().sessions_expired == 1
+        assert engine.stats().sessions_active == 1
+
+    def test_lru_swap_out_and_transparent_restore(
+        self, serving_catalog, serving_profile, tmp_path
+    ):
+        store = JsonSessionStore(str(tmp_path / "sessions"))
+        engine = make_engine(
+            serving_catalog, serving_profile, store=store, max_active_sessions=1
+        )
+        a = engine.create_session(seed=5)
+        ra = engine.recommend(a)
+        engine.feedback(a, 0)
+        expected_next = engine.snapshot(a)  # state we must come back to
+        b = engine.create_session(seed=6)  # evicts a to the store
+        assert engine.stats().sessions_swapped_out >= 1
+        assert a in store.list_ids()
+        ra2 = engine.recommend(a)  # transparently restored (evicting b)
+        assert engine.stats().sessions_restored >= 1
+        # The restored session continues from its exact pre-eviction state.
+        fresh = make_engine(serving_catalog, serving_profile)
+        fresh.restore(expected_next)
+        assert presented_items(ra2) == presented_items(fresh.recommend(a))
+        assert ra2.recommended  # sanity: non-empty rounds
+        engine.close(a)
+        assert a not in store.list_ids()
+
+    def test_lru_without_store_drops_sessions(self, serving_catalog, serving_profile):
+        engine = make_engine(serving_catalog, serving_profile, max_active_sessions=1)
+        a = engine.create_session()
+        engine.create_session()
+        with pytest.raises(SessionNotFoundError):
+            engine.recommend(a)
+
+
+# ========================================================== snapshot/restore
+class TestSnapshotRestore:
+    def run_rounds(self, engine, session_id, rounds=2):
+        for _ in range(rounds):
+            engine.recommend(session_id)
+            engine.feedback(session_id, 0)
+
+    def test_round_trip_identical_recommendation(
+        self, serving_catalog, serving_profile
+    ):
+        engine = make_engine(serving_catalog, serving_profile)
+        session_id = engine.create_session(seed=9)
+        self.run_rounds(engine, session_id)
+        snapshot = engine.snapshot(session_id)
+        json.dumps(snapshot)  # payload must be pure JSON
+        original_round = engine.recommend(session_id)
+
+        fresh = make_engine(serving_catalog, serving_profile)
+        fresh.restore(snapshot)
+        restored_round = fresh.recommend(session_id)
+        assert presented_items(original_round) == presented_items(restored_round)
+
+    def test_restored_session_keeps_counters(self, serving_catalog, serving_profile):
+        engine = make_engine(serving_catalog, serving_profile)
+        session_id = engine.create_session(seed=9)
+        self.run_rounds(engine, session_id, rounds=3)
+        snapshot = engine.snapshot(session_id)
+        fresh = make_engine(serving_catalog, serving_profile)
+        fresh.restore(snapshot)
+        entry = fresh.sessions.acquire(session_id)
+        assert entry.recommender.rounds_presented == 3
+        assert entry.recommender.clicks_received == 3
+        assert entry.recommender.num_feedback_preferences > 0
+
+    def test_restore_rejects_unknown_versions(self, serving_catalog, serving_profile):
+        engine = make_engine(serving_catalog, serving_profile)
+        session_id = engine.create_session()
+        snapshot = engine.snapshot(session_id)
+        snapshot["version"] = 99
+        with pytest.raises(ValueError):
+            engine.restore(snapshot)
+
+    def test_restore_refuses_to_clobber_by_default(
+        self, serving_catalog, serving_profile
+    ):
+        engine = make_engine(serving_catalog, serving_profile)
+        session_id = engine.create_session()
+        snapshot = engine.snapshot(session_id)
+        with pytest.raises(ValueError):
+            engine.restore(snapshot)
+        engine.restore(snapshot, replace_existing=True)
+        engine.recommend(session_id)
+
+
+# ================================================================== stores
+class TestSessionStores:
+    PAYLOAD = {"version": 1, "value": [1, 2, 3]}
+
+    @pytest.mark.parametrize("backend", ["memory", "json", "sqlite"])
+    def test_round_trip(self, backend, tmp_path):
+        store = {
+            "memory": lambda: MemorySessionStore(),
+            "json": lambda: JsonSessionStore(str(tmp_path / "j")),
+            "sqlite": lambda: SqliteSessionStore(str(tmp_path / "s.sqlite")),
+        }[backend]()
+        assert store.load("x") is None
+        store.save("x", self.PAYLOAD)
+        assert store.load("x") == self.PAYLOAD
+        assert store.list_ids() == ["x"]
+        assert "x" in store
+        assert store.delete("x")
+        assert not store.delete("x")
+        assert store.load("x") is None
+
+    def test_sqlite_uses_wal_mode(self, tmp_path):
+        store = SqliteSessionStore(str(tmp_path / "wal.sqlite"))
+        mode = store._connection.execute("PRAGMA journal_mode").fetchone()[0]
+        assert mode.lower() == "wal"
+
+    def test_json_store_overwrites_atomically(self, tmp_path):
+        store = JsonSessionStore(str(tmp_path / "j"))
+        store.save("x", {"n": 1})
+        store.save("x", {"n": 2})
+        assert store.load("x") == {"n": 2}
+        assert store.list_ids() == ["x"]
+
+
+# =========================================================== search_many dedup
+class TestSearchMany:
+    def test_duplicates_share_one_search(self, serving_catalog, serving_profile):
+        from repro.core.packages import PackageEvaluator
+
+        evaluator = PackageEvaluator(serving_catalog, serving_profile, 2)
+        searcher = TopKPackageSearcher(evaluator, beam_width=60, max_items_accessed=25)
+        weights = np.array([[0.5, 0.2, -0.1], [0.5, 0.2, -0.1], [0.1, 0.9, 0.3]])
+        results = searcher.search_many(weights, 2)
+        assert len(results) == 3
+        assert results[0] is results[1]  # deduplicated rows share the result
+        individual = searcher.search(weights[2], 2)
+        assert [p.items for p in results[2].packages] == [
+            p.items for p in individual.packages
+        ]
+
+    def test_empty_matrix_gives_no_results(self, serving_catalog, serving_profile):
+        from repro.core.packages import PackageEvaluator
+
+        evaluator = PackageEvaluator(serving_catalog, serving_profile, 2)
+        searcher = TopKPackageSearcher(evaluator)
+        assert searcher.search_many(np.zeros((0, 3)), 2) == []
+
+
+# ============================================================ traffic harness
+class TestTrafficSimulator:
+    def test_identical_prefix_load_reports_cache_wins(
+        self, serving_catalog, serving_profile
+    ):
+        engine = make_engine(serving_catalog, serving_profile)
+        report = TrafficSimulator(
+            engine, WorkloadSpec(num_sessions=6, rounds=2, identical_prefix=True)
+        ).run()
+        assert report.rounds_served == 12
+        assert report.feedback_events == 12
+        assert report.sessions_per_sec > 0
+        assert report.engine_stats["pool_cache"]["hit_rate"] > 0.5
+        text = report.format("identical")
+        assert "sessions/sec" in text and "p50" in text
+
+    def test_heterogeneous_load_diverges(self, serving_catalog, serving_profile):
+        engine = make_engine(serving_catalog, serving_profile)
+        report = TrafficSimulator(
+            engine,
+            WorkloadSpec(num_sessions=4, rounds=2, identical_prefix=False),
+        ).run()
+        assert report.rounds_served == 8
+        # After round one the prefixes split, so pools get maintained per user.
+        assert report.engine_stats["pools_maintained"] >= 1
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(num_sessions=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(rounds=0)
+
+
+# ==================================================== review regression tests
+class TestReviewRegressions:
+    def test_no_wasted_prefetch_when_pool_cache_disabled(
+        self, serving_catalog, serving_profile
+    ):
+        """recommend_many must not batch-build pools it cannot cache."""
+        engine = make_engine(serving_catalog, serving_profile, pool_cache_size=0)
+        ids = [engine.create_session(seed=4) for _ in range(4)]
+        engine.recommend_many(ids)
+        # One build per session's own provider; no discarded prefetch batch.
+        stats = engine.stats()
+        assert stats.pools_sampled + stats.pools_maintained == 4
+
+    def test_topk_cache_does_not_survive_pool_rebuild(
+        self, serving_catalog, serving_profile
+    ):
+        """A pool evicted and rebuilt must not be served stale top-k lists."""
+        engine = make_engine(serving_catalog, serving_profile, pool_cache_size=1)
+        a = engine.create_session(seed=5)
+        engine.recommend(a)                 # empty-prefix pool + top-k cached
+        engine.feedback(a, 0)
+        engine.recommend(a)                 # new fingerprint evicts the old pool
+        b = engine.create_session(seed=5)
+        round_b = engine.recommend(b)       # empty-prefix pool rebuilt (new build)
+        stats = engine.stats()
+        assert stats.topk_cache["hits"] == 0  # stale entry was never served
+        # The served list matches the session's *actual* (rebuilt) pool.
+        entry_b = engine.sessions.acquire(b)
+        recomputed = entry_b.recommender.current_top_k()
+        assert [p.items for p in round_b.recommended] == [
+            p.items for p in recomputed
+        ]
+
+    def test_json_store_distinct_ids_never_collide(self, tmp_path):
+        store = JsonSessionStore(str(tmp_path / "j"))
+        store.save("a/b", {"n": 1})
+        store.save("a_b", {"n": 2})
+        assert store.load("a/b") == {"n": 1}
+        assert store.load("a_b") == {"n": 2}
+        assert store.list_ids() == ["a/b", "a_b"]
+
+    def test_expired_swapped_out_session_id_is_reusable(
+        self, serving_catalog, serving_profile, tmp_path
+    ):
+        clock = FakeClock()
+        store = JsonSessionStore(str(tmp_path / "sessions"))
+        engine = make_engine(
+            serving_catalog,
+            serving_profile,
+            clock=clock,
+            store=store,
+            max_active_sessions=1,
+            session_ttl_seconds=10.0,
+        )
+        engine.create_session(session_id="u1")
+        engine.create_session(session_id="u2")  # swaps u1 out to the store
+        assert "u1" in store.list_ids()
+        clock.advance(11.0)
+        engine.create_session(session_id="u1")  # expired snapshot reclaimed
+        assert engine.stats().sessions_expired >= 1
+
+    def test_batched_serve_survives_capacity_eviction_mid_batch(
+        self, serving_catalog, serving_profile, tmp_path
+    ):
+        """Acquiring a later session must not swap out an earlier one before
+        its round is served (the served round would be lost to a pre-serve
+        snapshot)."""
+        store = JsonSessionStore(str(tmp_path / "sessions"))
+        engine = make_engine(
+            serving_catalog, serving_profile, store=store, max_active_sessions=2
+        )
+        ids = [engine.create_session(seed=4) for _ in range(3)]
+        rounds = engine.recommend_many(ids)
+        assert len(rounds) == 3
+        # Feedback on every batched session works: each served round was
+        # preserved, including for whichever entry got swapped out afterwards.
+        for session_id in ids:
+            engine.feedback(session_id, 0)
+
+    def test_prefetch_builds_are_not_counted_as_cache_hits(
+        self, serving_catalog, serving_profile
+    ):
+        """The builder session's first fetch of its freshly prefetched pool
+        is the miss that caused the build, not a cache win."""
+        engine = make_engine(serving_catalog, serving_profile)
+        ids = [engine.create_session(seed=4) for _ in range(3)]
+        engine.recommend_many(ids)
+        stats = engine.stats()
+        assert stats.pool_cache["misses"] == 1
+        assert stats.pool_cache["hits"] == 2  # only the genuinely shared fetches
+
+    def test_serial_sampler_honours_configured_kind(
+        self, serving_catalog, serving_profile
+    ):
+        """With the batch sampler off but the cache on, engine-level pool
+        builds must use the configured elicitation sampler."""
+        config = EngineConfig(
+            elicitation=fast_elicitation_config(sampler="rejection"),
+            seed=1,
+            use_batch_sampler=False,
+        )
+        engine = RecommendationEngine(serving_catalog, serving_profile, config)
+        session_id = engine.create_session(seed=2)
+        engine.recommend(session_id)
+        pool = engine.sessions.acquire(session_id).recommender.sample_pool()
+        assert pool.stats["sampler"] == "RS"
