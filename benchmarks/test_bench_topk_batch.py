@@ -1,0 +1,152 @@
+"""Benchmark: vectorised batch ``Top-k-Pkg`` vs sequential per-sample search.
+
+Not a paper figure — this measures the PR's tentpole: answering the per-sample
+top-k package queries for a whole pool of posterior weight samples with one
+shared sorted-list walk (:class:`BatchTopKPackageSearcher`) instead of one
+sequential :class:`TopKPackageSearcher` run per sample.
+
+Both searchers run *exact* (no beam, no item caps) over catalogs drawn by the
+experiment harness, with pools of weight vectors concentrated around a hidden
+utility — the shape a real posterior has after a few clicks.  The suite
+
+* sweeps pool size (the §4 hot-path axis) and catalog size/dimensionality,
+* asserts the batch results match the sequential ones exactly (bit-identical
+  utilities — the equivalence contract of ``tests/test_topk_batch.py``), and
+* asserts the acceptance floor: ≥ 5× speedup on a 150-sample pool.
+
+The regenerated table lands in ``results/bench_topk_batch.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import ExperimentScale, build_evaluator
+from repro.topk.batch_search import BatchTopKPackageSearcher
+from repro.topk.package_search import TopKPackageSearcher
+
+#: Acceptance floor asserted on the 150-sample pool configuration.
+MIN_SPEEDUP = 5.0
+
+K = 5
+
+#: (num_items, num_features, max_package_size, pool_size) per measured point.
+CONFIGS = [
+    (200, 4, 3, 25),
+    (200, 4, 3, 150),
+    (400, 6, 3, 60),
+]
+
+
+@dataclass
+class BatchPoint:
+    """One measured (catalog, pool) comparison."""
+
+    num_items: int
+    num_features: int
+    phi: int
+    pool_size: int
+    sequential_seconds: float
+    batch_seconds: float
+    identical: bool
+
+    @property
+    def speedup(self) -> float:
+        return self.sequential_seconds / self.batch_seconds
+
+
+def _pool(num_features: int, pool_size: int, rng: np.random.Generator) -> np.ndarray:
+    """A posterior-shaped pool: samples concentrated around a hidden utility."""
+    hidden = rng.uniform(-1.0, 1.0, num_features)
+    return np.clip(hidden + rng.normal(0.0, 0.35, (pool_size, num_features)), -1.0, 1.0)
+
+
+def _measure(num_items: int, num_features: int, phi: int, pool_size: int) -> BatchPoint:
+    scale = ExperimentScale(
+        num_tuples=num_items, num_packages=500, num_samples=200,
+        num_preferences=200, num_features=num_features, num_gaussians=1,
+        max_package_size=phi, seed=0,
+    )
+    evaluator = build_evaluator("UNI", scale, num_features=num_features)
+    pool = _pool(num_features, pool_size, np.random.default_rng(1))
+
+    batch_searcher = BatchTopKPackageSearcher(evaluator)
+    start = time.perf_counter()
+    batch_results = batch_searcher.search_many(pool, K)
+    batch_seconds = time.perf_counter() - start
+
+    sequential_searcher = TopKPackageSearcher(evaluator)
+    start = time.perf_counter()
+    sequential_results = sequential_searcher.search_many(pool, K)
+    sequential_seconds = time.perf_counter() - start
+
+    identical = all(
+        s.utilities == b.utilities
+        for s, b in zip(sequential_results, batch_results)
+    )
+    return BatchPoint(
+        num_items=num_items, num_features=num_features, phi=phi,
+        pool_size=pool_size, sequential_seconds=sequential_seconds,
+        batch_seconds=batch_seconds, identical=identical,
+    )
+
+
+@pytest.fixture(scope="module")
+def batch_points() -> List[BatchPoint]:
+    from bench_utils import write_results
+
+    points = [_measure(*config) for config in CONFIGS]
+    lines = [
+        "Batch Top-k-Pkg — one shared sorted-list walk vs per-sample search",
+        f"k={K}, exact settings (no beam, no item caps); pools concentrated "
+        "around a hidden utility (posterior shape)",
+        "",
+        f"{'items':>6} {'m':>3} {'phi':>4} {'pool':>5} "
+        f"{'sequential_s':>13} {'batch_s':>9} {'speedup':>8} {'identical':>10}",
+    ]
+    for p in points:
+        lines.append(
+            f"{p.num_items:>6} {p.num_features:>3} {p.phi:>4} {p.pool_size:>5} "
+            f"{p.sequential_seconds:>13.3f} {p.batch_seconds:>9.3f} "
+            f"{p.speedup:>7.1f}x {str(p.identical):>10}"
+        )
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_results("bench_topk_batch.txt", text)
+    return points
+
+
+def test_batch_results_match_sequential_exactly(batch_points):
+    """Utilities must be bit-identical for every pool vector in every config."""
+    for point in batch_points:
+        assert point.identical, (
+            f"batch/sequential mismatch at items={point.num_items} "
+            f"m={point.num_features} pool={point.pool_size}"
+        )
+
+
+def test_batch_speedup_on_150_sample_pool(batch_points):
+    """The acceptance floor: ≥ 5x over sequential search on a 150-sample pool."""
+    point = next(p for p in batch_points if p.pool_size == 150)
+    assert point.speedup >= MIN_SPEEDUP, (
+        f"batch speedup {point.speedup:.2f}x below the {MIN_SPEEDUP}x floor "
+        f"({point.sequential_seconds:.3f}s vs {point.batch_seconds:.3f}s)"
+    )
+
+
+def test_batch_speedup_grows_with_pool_size(batch_points):
+    """Amortisation: the shared walk wins more as the pool gets larger."""
+    small = next(p for p in batch_points if p.pool_size == 25)
+    large = next(p for p in batch_points if p.pool_size == 150)
+    assert large.speedup > small.speedup
+
+
+def test_batch_wins_across_dimensionalities(batch_points):
+    """The win is not an artefact of one (catalog, dimensionality) point."""
+    for point in batch_points:
+        assert point.speedup > 1.0

@@ -10,7 +10,8 @@ The public API re-exports the pieces most users need:
   :class:`ElicitationConfig`;
 * constrained samplers: :class:`RejectionSampler`, :class:`ImportanceSampler`,
   :class:`MetropolisHastingsSampler`;
-* top-k package search: :class:`TopKPackageSearcher`;
+* top-k package search: :class:`TopKPackageSearcher` (one weight vector),
+  :class:`BatchTopKPackageSearcher` (a whole pool, one shared walk);
 * ranking semantics: :class:`RankingSemantics`;
 * dataset generators: :func:`load_benchmark_dataset`, :func:`generate_nba_dataset`;
 * the online serving engine: :class:`RecommendationEngine`,
@@ -44,6 +45,7 @@ from repro.sampling.rejection import RejectionSampler
 from repro.sampling.importance import ImportanceSampler
 from repro.sampling.mcmc import MetropolisHastingsSampler
 from repro.topk.package_search import PackageSearchResult, TopKPackageSearcher
+from repro.topk.batch_search import BatchTopKPackageSearcher
 from repro.topk.bruteforce import brute_force_top_k_packages
 from repro.data.datasets import load_benchmark_dataset
 from repro.data.nba import generate_nba_dataset
@@ -94,6 +96,7 @@ __all__ = [
     "ImportanceSampler",
     "MetropolisHastingsSampler",
     "TopKPackageSearcher",
+    "BatchTopKPackageSearcher",
     "PackageSearchResult",
     "brute_force_top_k_packages",
     "load_benchmark_dataset",

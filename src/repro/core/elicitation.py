@@ -9,7 +9,9 @@
 3. interpret the user's click as pairwise preferences "clicked ≻ unclicked",
    store them in the preference DAG, and maintain the sample pool against the
    new constraints instead of resampling from scratch (§3.3–3.4);
-4. answer top-k package queries by running ``Top-k-Pkg`` per weight sample and
+4. answer top-k package queries by running ``Top-k-Pkg`` for every weight
+   sample — batched through one shared sorted-list walk by default
+   (:class:`~repro.topk.batch_search.BatchTopKPackageSearcher`) — and
    aggregating under EXP / TKP / MPO (§4).
 
 Typical usage::
@@ -45,6 +47,7 @@ from repro.sampling.maintenance import (
 )
 from repro.sampling.mcmc import MetropolisHastingsSampler
 from repro.sampling.rejection import RejectionSampler
+from repro.topk.batch_search import BatchTopKPackageSearcher
 from repro.topk.package_search import PackageSearchResult, TopKPackageSearcher
 from repro.utils.rng import RngLike, ensure_rng
 
@@ -96,11 +99,22 @@ class ElicitationConfig:
         used).  ``None`` searches for every sample, exactly as §4 describes;
         a finite budget keeps interactive latency bounded for large pools.
     search_beam_width:
-        Beam width passed to the package searcher (see
-        :class:`~repro.topk.package_search.TopKPackageSearcher`); ``None``
-        keeps the per-sample search exact.
+        Per-sample beam width passed to the package searchers; ``None``
+        keeps the per-sample search exact.  On the batch path the queue is
+        shared, so the batch searcher pools the budget — ``beam_width ×
+        pool size`` candidates total; when that cap binds, batch results may
+        differ from sequential beam search (both are bounded-work anytime
+        modes, not exact).
     search_items_cap:
         Cap on items accessed per search; ``None`` means no cap.
+    use_batch_search:
+        Answer the per-sample top-k queries with the vectorised
+        :class:`~repro.topk.batch_search.BatchTopKPackageSearcher` (one
+        shared sorted-list walk for the whole pool) instead of N sequential
+        searches.  Results are identical to the sequential path in the exact
+        configuration (``search_beam_width=None``, ``search_items_cap=None``)
+        and may differ only when those bounded-work caps bind.  Disable to
+        fall back to per-sample :meth:`TopKPackageSearcher.search_many`.
     seed:
         Seed for all randomness inside the recommender.
     """
@@ -119,6 +133,7 @@ class ElicitationConfig:
     search_sample_budget: Optional[int] = None
     search_beam_width: Optional[int] = 2_000
     search_items_cap: Optional[int] = None
+    use_batch_search: bool = True
     seed: Optional[int] = None
 
     def __post_init__(self) -> None:
@@ -228,6 +243,15 @@ class PackageRecommender:
         self.sampler = self._build_sampler()
         self.preferences = PreferenceStore(catalog.num_features, on_cycle="drop")
         self.searcher = TopKPackageSearcher(
+            self.evaluator,
+            predicates=predicates,
+            beam_width=self.config.search_beam_width,
+            max_items_accessed=self.config.search_items_cap,
+        )
+        # The pool-wide top-k queries walk the sorted lists once for all
+        # samples; the sequential searcher above remains for single-vector
+        # queries and as the use_batch_search=False fallback.
+        self.batch_searcher = BatchTopKPackageSearcher(
             self.evaluator,
             predicates=predicates,
             beam_width=self.config.search_beam_width,
@@ -360,6 +384,8 @@ class PackageRecommender:
     ) -> List[PackageSearchResult]:
         if indices is None:
             indices = np.arange(pool.size)
+        if self.config.use_batch_search:
+            return self.batch_searcher.search_many(pool.samples[indices], k)
         return self.searcher.search_many(pool.samples[indices], k)
 
     def recommend(

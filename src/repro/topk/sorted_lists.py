@@ -1,12 +1,44 @@
 """Per-feature sorted item lists with round-robin access (§4, Algorithm 2).
 
-``Top-k-Pkg`` accesses items "in their descending utility order" per feature:
-for a feature with a positive weight the list is sorted by decreasing value,
-for a negative weight by increasing value (a sorted column can be read in
-either direction, so only one physical ordering per feature is kept).  The
-*boundary value vector* τ holds, per feature, the value of the last accessed
-item of that feature's list — i.e. the best value any *unaccessed* item can
-still contribute on that feature.
+This module is the *access structure* of the paper's upper/lower-bound scheme
+for ``Top-k-Pkg``.  The searchers never scan the catalog: they pull items one
+at a time from per-feature sorted lists, and everything they know about the
+not-yet-seen part of the catalog is summarised by one vector.
+
+**Sorted access (Algorithm 2).**  ``Top-k-Pkg`` accesses items "in their
+descending utility order" per feature: for a feature with a positive weight
+the list is sorted by decreasing value, for a negative weight by increasing
+value (a sorted column can be read in either direction, so only one physical
+ordering per feature is kept; zero-weight features get no list at all since
+they cannot influence utility).  The lists are consumed round-robin so no
+single feature runs far ahead of the others.
+
+**The boundary vector τ and why it bounds.**  τ holds, per feature, the value
+of the last accessed item of that feature's list.  Because each list is read
+in desirability order, *every unaccessed item is feature-wise dominated by
+τ*: on each feature its value is no more desirable than τ's.  An imaginary
+item with feature vector τ therefore upper-bounds the utility contribution of
+any unaccessed item, which is exactly what the search needs to bound
+undiscovered packages:
+
+* the **upper bound** ``η_up`` (``upper-exp``, Algorithm 3) pads a candidate
+  package with copies of the τ item — no completion of the candidate using
+  unaccessed items can do better;
+* the **lower bound** ``η_lo`` is the k-th best utility among packages
+  already discovered (exact values, no bounding needed);
+* the search stops the moment ``η_up ≤ η_lo``: the best still-undiscovered
+  package provably cannot crack the current top-k, usually long before the
+  lists are exhausted.
+
+As the walk advances, τ only moves toward less desirable values, so ``η_up``
+tightens monotonically while ``η_lo`` rises — the two bounds close in on each
+other from both sides.
+
+One subtlety: a *null* feature value contributes nothing to any aggregate,
+and "contributing nothing" can be more desirable than τ itself (e.g. on a
+negative-weight sum feature).  The searchers therefore post-process τ with
+:func:`repro.topk.package_search.null_aware_boundary` before padding with it;
+this module only reports the raw per-list boundary values.
 """
 
 from __future__ import annotations
@@ -21,6 +53,14 @@ from repro.utils.validation import require_vector
 
 class SortedItemLists:
     """Round-robin access over per-feature desirability-sorted item lists.
+
+    One instance is one *cursor* over the catalog for one weight vector: it
+    remembers, per active feature, how deep that feature's list has been
+    read, which items have already been produced (an item surfacing in a
+    second list is skipped but still advances that list's boundary), and the
+    current boundary value vector τ.  The sequential searcher owns a single
+    cursor; the batch searcher advances one cursor per weight vector in
+    lockstep while sharing all candidate-package state between them.
 
     Parameters
     ----------

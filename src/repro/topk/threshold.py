@@ -6,6 +6,31 @@ search (§4) and for sample maintenance (§3.4).  This module provides that
 substrate: given an item catalog and a weight vector, find the k items with the
 highest linear score while accessing as few items as possible through the
 per-feature sorted lists.
+
+TA is the simplest instance of the upper/lower-bound scheme that §4 later
+lifts to package space, and seeing it here makes the package version easy to
+follow:
+
+* items are read from :class:`~repro.topk.sorted_lists.SortedItemLists` in
+  round-robin desirability order, and every accessed item's exact score is a
+  *lower-bound* candidate — the running k-th best score plays the role of
+  ``η_lo``;
+* the *threshold* is the score ``w · τ`` of the boundary vector τ: since
+  every unaccessed item is feature-wise dominated by τ, no unaccessed item
+  can score above it — the role of ``η_up``;
+* the scan stops as soon as the k-th best accessed score reaches the
+  threshold, typically after touching a small prefix of each list.
+
+The package search (`repro.topk.package_search`) keeps this skeleton but must
+work much harder for its upper bound: a *package* mixes accessed and
+unaccessed items, so ``upper-exp`` pads partially-built candidates with
+copies of the τ item instead of comparing single scores — and the lower bound
+ranges over candidate packages discovered by expansion rather than over rows
+of the catalog.
+
+:func:`scan_top_k_items` is the brute-force oracle used by the tests, and
+:func:`top_k_items` the early-terminating TA; both break score ties by item
+index so results are deterministic.
 """
 
 from __future__ import annotations

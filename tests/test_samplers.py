@@ -193,3 +193,19 @@ class TestMcmcSeedFallback:
         pool = sampler.sample(30, constraints)
         assert pool.size == 30
         assert constraints.valid_mask(pool.samples).all()
+
+
+class TestMcmcDegenerateCone:
+    def test_empty_interior_cone_seeds_at_the_origin(self):
+        """Feedback on near-identical packages can collapse the valid region
+        to an empty-interior wedge (here: a hyperplane, the extreme case).
+        The chain must still serve a valid pool — seeded at the cone's apex —
+        rather than failing the request."""
+        direction = np.array([[0.5, -0.2, 0.1]])
+        constraints = ConstraintSet(np.vstack([direction, -direction]))
+        assert constraints.interior_point() is None
+        prior = GaussianMixture.default_prior(3, rng=0)
+        sampler = MetropolisHastingsSampler(prior, rng=1)
+        pool = sampler.sample(20, constraints)
+        assert pool.size == 20
+        assert constraints.valid_mask(pool.samples).all()

@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""Documentation checker: run the docs' code and verify intra-repo links.
+
+Two guarantees, enforced in CI (the ``docs`` job) and runnable locally:
+
+1. **Snippets execute.**  Every fenced ```` ```python ```` block in the
+   checked documents is executed.  Blocks within one document share a single
+   namespace, in order, so later examples can use objects defined by earlier
+   ones (exactly how a reader would type them into one interpreter).  Blocks
+   run in a temporary working directory with ``src/`` importable, so examples
+   that write files (session stores, results) do not litter the repo.
+   A block can be opted out by placing ``<!-- docs-check: skip -->`` on the
+   line directly above the opening fence (for illustrative pseudo-code such
+   as constructor signatures).
+
+2. **Intra-repo links resolve.**  Every relative markdown link target
+   (``[text](path)``, no scheme, not a bare ``#anchor``) must exist on disk,
+   resolved against the document's directory (fragments are stripped).
+
+Usage::
+
+    python tools/check_docs.py            # check the default document set
+    python tools/check_docs.py README.md  # check specific files
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import re
+import sys
+import tempfile
+import traceback
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Documents checked by default: the README and the documentation layer
+#: (snippets + links), plus the architecture/roadmap notes (links only —
+#: their fenced blocks are ASCII diagrams, not python).
+DEFAULT_DOCUMENTS = ["README.md", "docs/*.md", "DESIGN.md", "ROADMAP.md"]
+
+SKIP_MARKER = "<!-- docs-check: skip -->"
+
+FENCE_RE = re.compile(r"^```(\w*)\s*$")
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def extract_python_blocks(text):
+    """Yield ``(start_line, source)`` for each executable python block."""
+    lines = text.splitlines()
+    blocks = []
+    in_block = False
+    language = ""
+    start = 0
+    buffer = []
+    skip_next = False
+    for number, line in enumerate(lines, start=1):
+        fence = FENCE_RE.match(line.strip())
+        if fence and not in_block:
+            in_block = True
+            language = fence.group(1).lower()
+            start = number + 1
+            buffer = []
+            block_skipped = skip_next
+            skip_next = False
+        elif line.strip() == "```" and in_block:
+            in_block = False
+            if language == "python" and not block_skipped:
+                blocks.append((start, "\n".join(buffer)))
+        elif in_block:
+            buffer.append(line)
+        else:
+            if line.strip() == SKIP_MARKER:
+                skip_next = True
+            elif line.strip():
+                skip_next = False
+    return blocks
+
+
+def check_snippets(path, text, errors):
+    blocks = extract_python_blocks(text)
+    if not blocks:
+        return 0
+    namespace = {"__name__": f"docs_check_{os.path.basename(path)}"}
+    cwd = os.getcwd()
+    with tempfile.TemporaryDirectory(prefix="docs-check-") as workdir:
+        os.chdir(workdir)
+        try:
+            for start_line, source in blocks:
+                try:
+                    code = compile(source, f"{path}:{start_line}", "exec")
+                    exec(code, namespace)  # noqa: S102 - the point of the check
+                except Exception:
+                    errors.append(
+                        f"{path}:{start_line}: snippet failed\n"
+                        + "".join(
+                            "    " + ln + "\n"
+                            for ln in traceback.format_exc().splitlines()[-6:]
+                        )
+                    )
+                    return len(blocks)  # later blocks depend on this namespace
+        finally:
+            os.chdir(cwd)
+    return len(blocks)
+
+
+def check_links(path, text, errors):
+    base = os.path.dirname(os.path.abspath(path))
+    checked = 0
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, ...
+            continue
+        if target.startswith("#"):
+            continue
+        checked += 1
+        resolved = os.path.normpath(os.path.join(base, target.split("#", 1)[0]))
+        if not os.path.exists(resolved):
+            errors.append(f"{path}: broken link -> {target}")
+    return checked
+
+
+def main(argv):
+    os.chdir(REPO_ROOT)
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    patterns = argv or DEFAULT_DOCUMENTS
+    documents = []
+    for pattern in patterns:
+        matched = sorted(glob.glob(pattern))
+        if not matched:
+            print(f"error: no documents match {pattern!r}", file=sys.stderr)
+            return 2
+        documents.extend(matched)
+
+    errors = []
+    for path in documents:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        snippets = check_snippets(path, text, errors)
+        links = check_links(path, text, errors)
+        print(f"{path}: {snippets} snippet(s) executed, {links} link(s) checked")
+
+    if errors:
+        print("\n" + "\n".join(errors), file=sys.stderr)
+        print(f"\ndocs check FAILED ({len(errors)} problem(s))", file=sys.stderr)
+        return 1
+    print("docs check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
