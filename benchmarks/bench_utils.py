@@ -1,11 +1,19 @@
-"""Helpers shared by the benchmark modules (results persistence)."""
+"""Helpers shared by the benchmark modules (results + CI-gate persistence)."""
 
 from __future__ import annotations
 
+import json
 import os
 
 #: Directory where each figure benchmark writes its regenerated table/series.
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+#: Machine-readable record of the gated benchmark metrics, consumed by
+#: ``tools/bench_gate.py`` (the CI ``bench-gate`` job) and uploaded as an
+#: artifact.  Lives at the repo root so the committed copy is easy to find.
+CI_METRICS_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_ci.json")
+
+CI_SCHEMA_VERSION = 1
 
 
 def write_results(name: str, text: str) -> str:
@@ -19,3 +27,43 @@ def write_results(name: str, text: str) -> str:
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text + "\n")
     return path
+
+
+def record_ci_metric(
+    name: str,
+    value: float,
+    floor: float,
+    source: str,
+    description: str,
+    unit: str = "x",
+) -> str:
+    """Merge one gated metric into ``BENCH_ci.json`` and return its path.
+
+    Each benchmark module records the headline number it *asserts* (value and
+    the floor it asserted against), so the CI gate — and anyone reading the
+    artifact — sees every gated measurement in one machine-readable place.
+    Existing entries for other metrics are preserved, so the file accumulates
+    across modules within one benchmark run.
+    """
+    payload = {"schema_version": CI_SCHEMA_VERSION, "metrics": {}}
+    if os.path.exists(CI_METRICS_PATH):
+        try:
+            with open(CI_METRICS_PATH, encoding="utf-8") as handle:
+                existing = json.load(handle)
+            if existing.get("schema_version") == CI_SCHEMA_VERSION:
+                payload["metrics"] = dict(existing.get("metrics", {}))
+        except (json.JSONDecodeError, OSError):
+            pass  # a corrupt file is simply regenerated
+    payload["metrics"][name] = {
+        "value": round(float(value), 3),
+        "floor": float(floor),
+        "unit": unit,
+        "higher_is_better": True,
+        "source": source,
+        "description": description,
+    }
+    payload["metrics"] = dict(sorted(payload["metrics"].items()))
+    with open(CI_METRICS_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return CI_METRICS_PATH

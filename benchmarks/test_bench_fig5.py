@@ -7,7 +7,6 @@ the early-termination checker here typically does much better because invalid
 samples are rejected after touching only a few constraints).
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments.fig5_constraint_checking import (

@@ -20,10 +20,6 @@ import pytest
 
 from repro.experiments.fig6_overall_time import run_overall_time_experiment, summarise
 
-# The full Figure 6 sweep (5 datasets x 3 samplers x 2 sweeps) and the
-# end-to-end pipeline benchmarks take several minutes; run them explicitly
-# with `pytest benchmarks/test_bench_fig6.py -m slow`.
-pytestmark = pytest.mark.slow
 from repro.experiments.harness import (
     build_evaluator,
     format_table,
@@ -37,6 +33,11 @@ from repro.sampling.mcmc import MetropolisHastingsSampler
 from repro.sampling.rejection import RejectionSampler
 from repro.topk.package_search import TopKPackageSearcher
 from repro.utils.rng import ensure_rng
+
+# The full Figure 6 sweep (5 datasets x 3 samplers x 2 sweeps) and the
+# end-to-end pipeline benchmarks take several minutes; run them explicitly
+# with `pytest benchmarks/test_bench_fig6.py -m slow`.
+pytestmark = pytest.mark.slow
 
 
 @pytest.fixture(scope="module")

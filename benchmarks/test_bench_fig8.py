@@ -10,10 +10,6 @@ import pytest
 
 from repro.experiments.fig8_elicitation import run_elicitation_effectiveness, summarise
 
-# The closed-loop elicitation sweep (5 feature counts x 3 users x up to 10
-# rounds of sampling + package search) is a multi-minute pipeline; run it
-# explicitly with `pytest benchmarks/test_bench_fig8.py -m slow`.
-pytestmark = pytest.mark.slow
 from repro.experiments.harness import format_table
 from repro.core.elicitation import ElicitationConfig, PackageRecommender
 from repro.core.items import ItemCatalog
@@ -21,6 +17,11 @@ from repro.core.profiles import AggregateProfile
 from repro.data.nba import generate_nba_dataset
 from repro.simulation.session import ElicitationSession
 from repro.simulation.user import SimulatedUser
+
+# The closed-loop elicitation sweep (5 feature counts x 3 users x up to 10
+# rounds of sampling + package search) is a multi-minute pipeline; run it
+# explicitly with `pytest benchmarks/test_bench_fig8.py -m slow`.
+pytestmark = pytest.mark.slow
 
 
 @pytest.fixture(scope="module")

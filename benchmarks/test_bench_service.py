@@ -64,7 +64,7 @@ def _engine(scale, shared: bool) -> RecommendationEngine:
 
 @pytest.fixture(scope="module")
 def service_reports(scale):
-    from bench_utils import write_results
+    from bench_utils import record_ci_metric, write_results
 
     reports = {}
     reports["shared"] = TrafficSimulator(
@@ -101,6 +101,16 @@ def service_reports(scale):
     )
     print("\n" + header + "\n" + body)
     write_results("bench_service.txt", header + "\n\n" + body)
+    record_ci_metric(
+        "service_shared_vs_per_session_speedup",
+        speedup,
+        MIN_SPEEDUP,
+        source="benchmarks/test_bench_service.py",
+        description=(
+            f"Shared-engine sessions/sec over per-session sampling, "
+            f"{NUM_SESSIONS} identical-prefix sessions x {NUM_ROUNDS} rounds"
+        ),
+    )
     return reports
 
 

@@ -98,7 +98,7 @@ def _measure(num_items: int, num_features: int, phi: int, pool_size: int) -> Bat
 
 @pytest.fixture(scope="module")
 def batch_points() -> List[BatchPoint]:
-    from bench_utils import write_results
+    from bench_utils import record_ci_metric, write_results
 
     points = [_measure(*config) for config in CONFIGS]
     lines = [
@@ -118,6 +118,17 @@ def batch_points() -> List[BatchPoint]:
     text = "\n".join(lines)
     print("\n" + text)
     write_results("bench_topk_batch.txt", text)
+    gated = next(p for p in points if p.pool_size == 150)
+    record_ci_metric(
+        "topk_batch_vs_sequential_speedup",
+        gated.speedup,
+        MIN_SPEEDUP,
+        source="benchmarks/test_bench_topk_batch.py",
+        description=(
+            "Batch Top-k-Pkg wall time over sequential per-sample search "
+            "on a 150-sample pool (exact settings)"
+        ),
+    )
     return points
 
 

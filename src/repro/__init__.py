@@ -15,7 +15,9 @@ The public API re-exports the pieces most users need:
 * ranking semantics: :class:`RankingSemantics`;
 * dataset generators: :func:`load_benchmark_dataset`, :func:`generate_nba_dataset`;
 * the online serving engine: :class:`RecommendationEngine`,
-  :class:`EngineConfig`, :class:`TrafficSimulator`.
+  :class:`EngineConfig`, :class:`TrafficSimulator`;
+* the async front-end: :class:`AsyncRecommendationServer`,
+  :class:`MicroBatchDispatcher`, :class:`AsyncTrafficSimulator`.
 
 See README.md for a quickstart and DESIGN.md for the architecture.
 """
@@ -51,9 +53,19 @@ from repro.data.datasets import load_benchmark_dataset
 from repro.data.nba import generate_nba_dataset
 from repro.simulation.user import SimulatedUser
 from repro.simulation.session import ElicitationSession
-from repro.simulation.traffic import LoadReport, TrafficSimulator, WorkloadSpec
+from repro.simulation.traffic import (
+    AsyncLoadReport,
+    AsyncTrafficSimulator,
+    AsyncWorkloadSpec,
+    LoadReport,
+    TrafficSimulator,
+    WorkloadSpec,
+)
 from repro.sampling.batch import BatchRejectionSampler
 from repro.service import (
+    AsyncRecommendationServer,
+    DispatcherClosedError,
+    MicroBatchDispatcher,
     EngineConfig,
     EngineStats,
     JsonSessionStore,
@@ -106,6 +118,12 @@ __all__ = [
     "TrafficSimulator",
     "WorkloadSpec",
     "LoadReport",
+    "AsyncTrafficSimulator",
+    "AsyncWorkloadSpec",
+    "AsyncLoadReport",
+    "AsyncRecommendationServer",
+    "MicroBatchDispatcher",
+    "DispatcherClosedError",
     "BatchRejectionSampler",
     "RecommendationEngine",
     "EngineConfig",

@@ -49,7 +49,7 @@ from repro.sampling.mcmc import MetropolisHastingsSampler
 from repro.sampling.rejection import RejectionSampler
 from repro.topk.batch_search import BatchTopKPackageSearcher
 from repro.topk.package_search import PackageSearchResult, TopKPackageSearcher
-from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.rng import ensure_rng
 
 #: Sampler names accepted by :class:`ElicitationConfig`.
 SAMPLER_NAMES = ("rejection", "importance", "mcmc")
@@ -366,14 +366,19 @@ class PackageRecommender:
             else self.config.semantics
         )
         pool = self.sample_pool()
-        indices = self._search_sample_indices(pool)
+        indices = self.search_sample_indices(pool)
         results = self._per_sample_results(pool, k, indices)
         return rank_from_samples(
             results, k, semantics, sample_weights=pool.weights[indices]
         )
 
-    def _search_sample_indices(self, pool: SamplePool) -> np.ndarray:
-        """Indices of the pool samples searched this round (evenly spaced subset)."""
+    def search_sample_indices(self, pool: SamplePool) -> np.ndarray:
+        """Indices of the pool samples searched per round (evenly spaced subset).
+
+        Exposed so a serving engine answering the top-k query *for* a session
+        (e.g. batching the searches of many sessions into one walk) selects
+        exactly the rows :meth:`current_top_k` would search itself.
+        """
         budget = self.config.search_sample_budget
         if budget is None or budget >= pool.size:
             return np.arange(pool.size)

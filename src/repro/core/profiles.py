@@ -16,7 +16,7 @@ for a ``sum`` feature the maximum is the sum of the φ largest item values, for
 from __future__ import annotations
 
 import enum
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 

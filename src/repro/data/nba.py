@@ -20,7 +20,7 @@ shape (skewed, positively correlated features).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

@@ -19,9 +19,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
-
-import numpy as np
+from typing import List, Optional, Sequence
 
 from repro.core.ranking import RankingSemantics, rank_from_samples
 from repro.experiments.harness import (

@@ -13,7 +13,7 @@ from __future__ import annotations
 import abc
 import hashlib
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional
+from typing import Iterable, Optional
 
 import numpy as np
 

@@ -24,7 +24,7 @@ import numpy as np
 from repro.sampling.base import ConstraintSet, SamplePool, Sampler
 from repro.sampling.gaussian_mixture import GaussianMixture
 from repro.sampling.mcmc import MetropolisHastingsSampler
-from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.rng import RngLike
 
 
 class BatchRejectionSampler(Sampler):

@@ -21,7 +21,7 @@ proposal has no closed form, so this module provides:
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable
 
 import numpy as np
 

@@ -9,7 +9,7 @@ samplers in this package build on.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 from scipy.stats import multivariate_normal

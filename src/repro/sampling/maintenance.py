@@ -22,8 +22,8 @@ violators can also be *replaced* under the updated constraint set.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set
+from dataclasses import dataclass
+from typing import List, Optional, Set
 
 import numpy as np
 

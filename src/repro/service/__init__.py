@@ -18,10 +18,23 @@ identical therefore share one pool and one top-k result, keyed by a canonical
   LRU eviction; evicted sessions are transparently swapped out to a
   :class:`SessionStore` (JSON files or SQLite in WAL mode) and restored on
   their next request.
-* :class:`~repro.simulation.traffic.TrafficSimulator` (in the simulation
-  package) — closed-loop load generator used by the serving benchmark.
+* :class:`AsyncRecommendationServer` + :class:`MicroBatchDispatcher` — the
+  asyncio front-end: concurrent ``recommend`` requests accumulate in a
+  micro-batch window (max size / max wait) and dispatch together through
+  ``recommend_many``, so concurrency feeds the batched sampler and the
+  across-session top-k walk instead of serialising on them.
+* :class:`~repro.simulation.traffic.TrafficSimulator` /
+  :class:`~repro.simulation.traffic.AsyncTrafficSimulator` (in the simulation
+  package) — closed- and open-loop load generators used by the serving
+  benchmarks.
 """
 
+from repro.service.async_server import AsyncRecommendationServer
+from repro.service.dispatcher import (
+    DispatcherClosedError,
+    DispatcherStats,
+    MicroBatchDispatcher,
+)
 from repro.service.pool_cache import CacheStats, LruCache, SamplePoolCache
 from repro.service.store import (
     JsonSessionStore,
@@ -39,6 +52,10 @@ from repro.service.engine import (
 )
 
 __all__ = [
+    "AsyncRecommendationServer",
+    "DispatcherClosedError",
+    "DispatcherStats",
+    "MicroBatchDispatcher",
     "CacheStats",
     "LruCache",
     "SamplePoolCache",

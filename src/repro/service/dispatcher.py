@@ -1,0 +1,232 @@
+"""Micro-batching dispatcher: concurrent ``recommend`` calls → one batch.
+
+The serving engine's batched paths (:meth:`RecommendationEngine.recommend_many`
+→ shared pool fills → one across-session top-k walk) only pay off when many
+sessions are served *in one call* — but network clients issue one request
+each.  :class:`MicroBatchDispatcher` is the piece in between: concurrent
+``recommend`` submissions accumulate in a window bounded by ``max_batch_size``
+requests and ``max_wait`` seconds (whichever trips first, the classic group
+commit rule), and the whole window is dispatched through ``recommend_many``.
+Under load the window fills instantly and every dispatch amortises sampling
+and search over up to ``max_batch_size`` sessions; an isolated request waits
+at most ``max_wait`` and then takes a single-request fast path straight to
+``engine.recommend``.
+
+Concurrency model: the dispatcher is single-threaded asyncio.  Dispatch runs
+synchronously on the event loop (the engine is CPU-bound and not
+thread-safe), so concurrency buys *batching*, not parallelism — requests
+that arrive while a batch is executing queue up and form the next window.
+
+Error isolation: ``recommend_many`` is all-or-nothing (one unknown session id
+fails the whole call), so a failing batch is re-served request by request —
+every healthy request still gets its round and only the failing ones see
+their exception.
+
+Graceful shutdown: :meth:`aclose` refuses new submissions, then drains —
+every request already admitted to the window is dispatched and resolved
+before the coroutine returns.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "DispatcherClosedError",
+    "DispatcherStats",
+    "MicroBatchDispatcher",
+]
+
+
+class DispatcherClosedError(RuntimeError):
+    """A request was submitted after :meth:`MicroBatchDispatcher.aclose`."""
+
+
+@dataclass
+class DispatcherStats:
+    """Counters describing how requests were grouped and dispatched."""
+
+    requests_submitted: int = 0
+    requests_completed: int = 0
+    requests_failed: int = 0
+    requests_cancelled: int = 0
+    batches_dispatched: int = 0
+    size_flushes: int = 0
+    timer_flushes: int = 0
+    drain_flushes: int = 0
+    fast_path_serves: int = 0
+    batch_fallbacks: int = 0
+    largest_batch: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average number of requests per dispatched batch (0.0 when idle)."""
+        if not self.batches_dispatched:
+            return 0.0
+        return (self.requests_completed + self.requests_failed) / self.batches_dispatched
+
+    def as_dict(self) -> dict:
+        return {
+            "requests_submitted": self.requests_submitted,
+            "requests_completed": self.requests_completed,
+            "requests_failed": self.requests_failed,
+            "requests_cancelled": self.requests_cancelled,
+            "batches_dispatched": self.batches_dispatched,
+            "size_flushes": self.size_flushes,
+            "timer_flushes": self.timer_flushes,
+            "drain_flushes": self.drain_flushes,
+            "fast_path_serves": self.fast_path_serves,
+            "batch_fallbacks": self.batch_fallbacks,
+            "largest_batch": self.largest_batch,
+            "mean_batch_size": self.mean_batch_size,
+        }
+
+
+class MicroBatchDispatcher:
+    """Accumulate concurrent ``recommend`` requests and dispatch them batched.
+
+    Parameters
+    ----------
+    engine:
+        Anything with the engine's serving surface: ``recommend(session_id)``
+        and ``recommend_many(session_ids)``.  Duck-typed so tests can observe
+        batching with a stub.
+    max_batch_size:
+        Window flushes immediately once this many requests are pending.
+    max_wait:
+        Seconds the *first* request of a window waits for company before the
+        window flushes anyway (the latency bound an idle-period request pays).
+    """
+
+    def __init__(
+        self,
+        engine,
+        max_batch_size: int = 16,
+        max_wait: float = 0.002,
+    ) -> None:
+        if max_batch_size <= 0:
+            raise ValueError(f"max_batch_size must be > 0, got {max_batch_size}")
+        if max_wait < 0:
+            raise ValueError(f"max_wait must be >= 0, got {max_wait}")
+        self.engine = engine
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait = float(max_wait)
+        self.stats = DispatcherStats()
+        self._pending: List[Tuple[str, asyncio.Future]] = []
+        self._timer: Optional[asyncio.TimerHandle] = None
+        self._closed = False
+
+    # ----------------------------------------------------------------- window
+    async def submit(self, session_id: str):
+        """Enqueue one ``recommend`` request; resolves to its round.
+
+        The request joins the current window.  The window is dispatched when
+        it reaches ``max_batch_size`` (immediately, inside this call) or when
+        ``max_wait`` elapses since its first request (on the loop's timer).
+        """
+        if self._closed:
+            raise DispatcherClosedError("dispatcher is closed to new requests")
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((session_id, future))
+        self.stats.requests_submitted += 1
+        if len(self._pending) >= self.max_batch_size:
+            self._flush("size")
+        elif self._timer is None:
+            self._timer = loop.call_later(self.max_wait, self._flush, "timer")
+        return await future
+
+    @property
+    def pending_requests(self) -> int:
+        """Number of requests waiting in the current window."""
+        return len(self._pending)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _flush(self, reason: str) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._pending:
+            return
+        batch, self._pending = self._pending, []
+        if reason == "size":
+            self.stats.size_flushes += 1
+        elif reason == "timer":
+            self.stats.timer_flushes += 1
+        else:
+            self.stats.drain_flushes += 1
+        self._dispatch(batch)
+
+    # --------------------------------------------------------------- dispatch
+    def _dispatch(self, batch: List[Tuple[str, asyncio.Future]]) -> None:
+        # A submitter may have been cancelled while waiting in the window
+        # (asyncio.wait_for timeouts); serving its round would advance the
+        # session for a caller that is gone, so drop done futures up front.
+        live = [(sid, fut) for sid, fut in batch if not fut.done()]
+        self.stats.requests_cancelled += len(batch) - len(live)
+        if not live:
+            return
+        batch = live
+        self.stats.batches_dispatched += 1
+        self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+        if len(batch) == 1:
+            # Single-request fast path: skip recommend_many's pin/prefetch
+            # machinery — there is nothing to batch.
+            self.stats.fast_path_serves += 1
+            session_id, future = batch[0]
+            try:
+                self._resolve(future, self.engine.recommend(session_id))
+            except Exception as exc:  # noqa: BLE001 - forwarded to the caller
+                self._reject(future, exc)
+            return
+        session_ids = [session_id for session_id, _future in batch]
+        try:
+            rounds = self.engine.recommend_many(session_ids)
+        except Exception:
+            # recommend_many acquires every session before serving any, so
+            # one bad id (unknown, expired) fails the whole call.  Re-serve
+            # the batch request by request: healthy sessions still get their
+            # round, only the failing ones see their own exception.  If the
+            # failure instead hit mid-serve (rare: a pool build blowing up),
+            # sessions served before it are served again — they receive a
+            # *later* round than the discarded one, which the request/response
+            # contract allows; the cost is the wasted partial batch.
+            self.stats.batch_fallbacks += 1
+            for session_id, future in batch:
+                try:
+                    self._resolve(future, self.engine.recommend(session_id))
+                except Exception as exc:  # noqa: BLE001
+                    self._reject(future, exc)
+            return
+        for (_session_id, future), round_ in zip(batch, rounds):
+            self._resolve(future, round_)
+
+    def _resolve(self, future: asyncio.Future, round_) -> None:
+        self.stats.requests_completed += 1
+        if not future.done():  # the submitter may have been cancelled
+            future.set_result(round_)
+
+    def _reject(self, future: asyncio.Future, exc: Exception) -> None:
+        self.stats.requests_failed += 1
+        if not future.done():
+            future.set_exception(exc)
+
+    # --------------------------------------------------------------- shutdown
+    async def drain(self) -> None:
+        """Dispatch the current window immediately, without closing."""
+        self._flush("drain")
+
+    async def aclose(self) -> None:
+        """Refuse new requests and drain everything already admitted.
+
+        Dispatch is synchronous on the event loop, so when this returns every
+        admitted request has been resolved (with a round or an exception).
+        Idempotent.
+        """
+        self._closed = True
+        self._flush("drain")

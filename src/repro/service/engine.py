@@ -42,10 +42,11 @@ from repro.core.elicitation import (
     RecommendationRound,
 )
 from repro.core.items import ItemCatalog
-from repro.core.packages import Package
+from repro.core.packages import Package, PackageEvaluator
 from repro.core.predicates import PredicateSet
 from repro.core.preferences import Preference
 from repro.core.profiles import AggregateProfile
+from repro.core.ranking import rank_from_samples
 from repro.sampling.base import ConstraintSet, SamplePool, Sampler
 from repro.sampling.batch import BatchRejectionSampler
 from repro.sampling.gaussian_mixture import GaussianMixture
@@ -53,6 +54,7 @@ from repro.sampling.importance import ImportanceSampler
 from repro.sampling.mcmc import MetropolisHastingsSampler
 from repro.sampling.rejection import RejectionSampler
 from repro.service.pool_cache import LruCache, SamplePoolCache
+from repro.topk.batch_search import BatchTopKPackageSearcher
 from repro.service.session_manager import (
     SessionEntry,
     SessionExpiredError,
@@ -103,6 +105,14 @@ class EngineConfig:
         On a pool-cache miss after feedback, keep the still-valid samples of
         the session's previous pool and only top up the deficit (§3.4) rather
         than resampling the full pool.
+    batch_search_across_sessions:
+        In :meth:`RecommendationEngine.recommend_many`, answer the top-k
+        queries of *all* top-k-cache-missing sessions in one concatenated
+        :meth:`~repro.topk.batch_search.BatchTopKPackageSearcher.search_pools`
+        call — one shared sorted-list walk across every distinct pool in the
+        batch — instead of one batch search per pool.  Requires the pool and
+        top-k caches plus ``use_batch_search`` in the elicitation config;
+        without them the per-session path is used.
     seed:
         Engine-level seed; all per-session seeds derive from it.
     """
@@ -116,6 +126,7 @@ class EngineConfig:
     batch_block_size: int = 2_048
     batch_max_blocks: int = 64
     maintain_on_miss: bool = True
+    batch_search_across_sessions: bool = True
     seed: Optional[int] = 0
 
     def __post_init__(self) -> None:
@@ -149,6 +160,7 @@ class EngineStats:
     feedback_events: int
     pools_sampled: int
     pools_maintained: int
+    topk_batched_pools: int
     pool_cache: dict
     topk_cache: dict
 
@@ -163,6 +175,7 @@ class EngineStats:
             "feedback_events": self.feedback_events,
             "pools_sampled": self.pools_sampled,
             "pools_maintained": self.pools_maintained,
+            "topk_batched_pools": self.topk_batched_pools,
             "pool_cache": dict(self.pool_cache),
             "topk_cache": dict(self.topk_cache),
         }
@@ -230,6 +243,19 @@ class RecommendationEngine:
         )
         self.pool_cache = SamplePoolCache(self.config.pool_cache_size)
         self._topk_cache = LruCache(self.config.topk_cache_size)
+        # Engine-level batch searcher for across-session search batching:
+        # same construction as every session's own searcher (identical
+        # evaluator, predicates and bounded-work caps), so a ranked list it
+        # produces is the one the session would have computed itself.
+        self.evaluator = PackageEvaluator(
+            catalog, profile, elicitation.max_package_size
+        )
+        self.batch_searcher = BatchTopKPackageSearcher(
+            self.evaluator,
+            predicates=predicates,
+            beam_width=elicitation.search_beam_width,
+            max_items_accessed=elicitation.search_items_cap,
+        )
         self.sessions = SessionManager(
             max_active=self.config.max_active_sessions,
             ttl_seconds=self.config.session_ttl_seconds,
@@ -241,11 +267,13 @@ class RecommendationEngine:
         self._session_counter = 0
         self._pool_build_counter = 0
         self._freshly_prefetched: set = set()
+        self._freshly_searched: set = set()
         self.sessions_created = 0
         self.rounds_served = 0
         self.feedback_events = 0
         self.pools_sampled = 0
         self.pools_maintained = 0
+        self.topk_batched_pools = 0
 
     # =============================================================== lifecycle
     def create_session(
@@ -408,6 +436,7 @@ class RecommendationEngine:
         across groups) before the per-session rounds are produced.
         """
         entries: List[SessionEntry] = []
+        fresh_topk_keys: set = set()
         try:
             for session_id in session_ids:
                 # Pin before acquiring: the acquire itself may restore from
@@ -422,8 +451,13 @@ class RecommendationEngine:
                 # so prefetching would only duplicate the sampling each
                 # provider does anyway.
                 self._prefetch_pools(entries)
+                fresh_topk_keys = self._prefetch_topk(entries)
             return [self._serve_round(entry) for entry in entries]
         finally:
+            # Serving normally consumes every freshly searched key; if a
+            # serve raised mid-batch, drop the leftovers so they cannot skew
+            # later hit/miss accounting or accumulate across failures.
+            self._freshly_searched.difference_update(fresh_topk_keys)
             self.sessions.unpin(session_ids)
             self.sessions.sweep_expired()
 
@@ -437,10 +471,18 @@ class RecommendationEngine:
         if self.config.topk_cache_size > 0 and self.config.pool_cache_size > 0:
             pool = recommender.sample_pool()  # ensures entry.pool_key is current
             if entry.pool_key is not None:
-                config = recommender.config
-                build = pool.stats.get("pool_build")
-                key = (entry.pool_key, build, config.k, config.semantics.value)
-                cached = self._topk_cache.get(key)
+                key = self._topk_key(entry, pool)
+                if key in self._freshly_searched:
+                    # First fetch of a ranked list the across-session prefetch
+                    # just computed: that is the miss that caused the search,
+                    # not a cache win (same honesty rule as pool prefetches).
+                    # Count the miss even if the entry was evicted between
+                    # put and fetch — a get() would have counted one too.
+                    self._freshly_searched.discard(key)
+                    cached = self._topk_cache.peek(key)
+                    self._topk_cache.stats.misses += 1
+                else:
+                    cached = self._topk_cache.get(key)
                 if cached is None:
                     recommended = recommender.current_top_k()
                     self._topk_cache.put(key, tuple(recommended))
@@ -479,6 +521,73 @@ class RecommendationEngine:
         entry.feedback_events += 1
         self.feedback_events += 1
         return added
+
+    def _topk_key(self, entry: SessionEntry, pool: SamplePool):
+        """Top-k cache key: pool identity (key + build) plus query shape."""
+        config = entry.recommender.config
+        build = pool.stats.get("pool_build")
+        return (entry.pool_key, build, config.k, config.semantics.value)
+
+    # ================================================== batched top-k search
+    def _prefetch_topk(self, entries: Sequence[SessionEntry]) -> set:
+        """Answer every cache-missing top-k query of a batch in one walk.
+
+        With the pools already prefetched, the remaining per-session cost of
+        a heterogeneous batch is the ``Top-k-Pkg`` queries — one batch search
+        per *distinct pool*.  This step concatenates the searched weight rows
+        of every top-k-cache-missing pool into a single
+        :meth:`~repro.topk.batch_search.BatchTopKPackageSearcher.search_pools`
+        call (one shared sorted-list walk, cross-pool deduplication of
+        repeated weight rows) and parks each pool's ranked list in the top-k
+        cache for :meth:`_serve_round` to pick up.  Returns the cache keys it
+        marked freshly searched, so the caller can clear any left unconsumed
+        by a failed serve.
+        """
+        if (
+            not self.config.batch_search_across_sessions
+            or self.config.topk_cache_size <= 0
+            or not self.config.elicitation.use_batch_search
+        ):
+            return set()
+        groups: Dict[tuple, dict] = {}
+        for entry in entries:
+            recommender = entry.recommender
+            pool = recommender.sample_pool()  # provider fetch; sets pool_key
+            if entry.pool_key is None:
+                continue
+            key = self._topk_key(entry, pool)
+            if key in groups or key in self._topk_cache:
+                continue
+            if len(groups) >= self._topk_cache.maxsize:
+                # More distinct pools than the cache can hold: searching the
+                # excess would only have its results evicted before their
+                # sessions read them; leave them to the per-session path.
+                continue
+            indices = recommender.search_sample_indices(pool)
+            groups[key] = {
+                "matrix": pool.samples[indices],
+                "weights": pool.weights[indices],
+                "k": recommender.config.k,
+                "semantics": recommender.config.semantics,
+            }
+        if not groups:
+            return set()
+        by_k: Dict[int, List[tuple]] = {}
+        for key, group in groups.items():
+            by_k.setdefault(group["k"], []).append(key)
+        for k, keys in by_k.items():
+            per_pool = self.batch_searcher.search_pools(
+                [groups[key]["matrix"] for key in keys], k
+            )
+            for key, results in zip(keys, per_pool):
+                group = groups[key]
+                ranked = rank_from_samples(
+                    results, k, group["semantics"], sample_weights=group["weights"]
+                )
+                self._topk_cache.put(key, tuple(ranked))
+                self._freshly_searched.add(key)
+                self.topk_batched_pools += 1
+        return set(groups)
 
     # ======================================================== batched sampling
     def _prefetch_pools(self, entries: Sequence[SessionEntry]) -> None:
@@ -662,6 +771,7 @@ class RecommendationEngine:
             feedback_events=self.feedback_events,
             pools_sampled=self.pools_sampled,
             pools_maintained=self.pools_maintained,
+            topk_batched_pools=self.topk_batched_pools,
             pool_cache=pool_stats,
             topk_cache=self._topk_cache.stats.as_dict(),
         )

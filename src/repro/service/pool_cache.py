@@ -12,7 +12,7 @@ immutable by convention: consumers must not modify ``pool.samples`` in place
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Hashable, Optional
 
 from repro.sampling.base import SamplePool

@@ -45,7 +45,7 @@ DESIGN.md ("Batched top-k search") for the data layout.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -230,6 +230,38 @@ class BatchTopKPackageSearcher:
         unique, inverse = np.unique(matrix, axis=0, return_inverse=True)
         unique_results = self._search_unique(unique, k)
         return [unique_results[j] for j in np.ravel(inverse)]
+
+    def search_pools(
+        self, matrices: Sequence[np.ndarray], k: int
+    ) -> List[List[PackageSearchResult]]:
+        """Top-k packages for several weight matrices in one shared walk.
+
+        The across-session entry point: ``matrices`` holds one ``(N_i, m)``
+        weight matrix per sample pool (e.g. one per cache-missing serving
+        session), and all of them are searched as a single concatenated batch
+        — one sorted-list walk, one shared candidate pool, one deduplication
+        of identical weight rows *across* pools (heterogeneous sessions still
+        overlap heavily: MCMC pools repeat states, and sessions one click
+        apart share most of their posterior mass).  Results come back split
+        per input matrix, in row order, and each row's result is the same as
+        :meth:`search_many` of its own matrix would return (per-vector
+        termination only depends on the vector's own bounds; a finite
+        ``beam_width`` pools the candidate budget over the whole batch, so
+        bounded-work runs may differ — the same caveat batching within one
+        pool already carries).
+        """
+        mats = [np.atleast_2d(np.asarray(m, dtype=float)) for m in matrices]
+        for matrix in mats:
+            if matrix.ndim != 2 or matrix.shape[1] != self.evaluator.num_features:
+                raise ValueError(
+                    f"every pool matrix must have shape (N, "
+                    f"{self.evaluator.num_features}), got {matrix.shape}"
+                )
+        if not mats:
+            return []
+        flat = self.search_many(np.concatenate(mats, axis=0), k)
+        bounds = np.cumsum([0] + [m.shape[0] for m in mats])
+        return [flat[bounds[i]:bounds[i + 1]] for i in range(len(mats))]
 
     # ---------------------------------------------------------- orchestration
     def _search_unique(self, W: np.ndarray, k: int) -> List[PackageSearchResult]:

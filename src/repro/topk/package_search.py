@@ -38,14 +38,12 @@ Deviations from the paper (documented in DESIGN.md):
 from __future__ import annotations
 
 import heapq
-import itertools
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.items import ItemCatalog
 from repro.core.packages import AggregationState, Package, PackageEvaluator
 from repro.core.predicates import PredicateSet
 from repro.core.profiles import AggregateProfile, Aggregation

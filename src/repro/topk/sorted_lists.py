@@ -43,7 +43,7 @@ this module only reports the raw per-list boundary values.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 

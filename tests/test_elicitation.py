@@ -8,7 +8,6 @@ from repro.core.elicitation import (
     PackageRecommender,
     RecommendationRound,
 )
-from repro.core.items import ItemCatalog
 from repro.core.packages import Package
 from repro.core.profiles import AggregateProfile
 from repro.core.ranking import RankingSemantics

@@ -13,7 +13,6 @@ from repro.sampling.ens import (
 )
 from repro.sampling.gaussian_mixture import GaussianMixture
 from repro.sampling.importance import ImportanceSampler
-from repro.sampling.rejection import RejectionSampler
 
 
 class TestEnsFromWeights:

@@ -1,7 +1,6 @@
 """End-to-end integration tests across subsystems."""
 
 import numpy as np
-import pytest
 
 from repro import (
     AggregateProfile,

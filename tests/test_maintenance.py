@@ -3,8 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.sampling.base import ConstraintSet, SamplePool
-from repro.sampling.gaussian_mixture import GaussianMixture
+from repro.sampling.base import ConstraintSet
 from repro.sampling.maintenance import (
     HybridMaintenance,
     NaiveMaintenance,

@@ -1,14 +1,13 @@
 """Property-based tests (hypothesis) for core data structures and invariants."""
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
 from repro.core.items import ItemCatalog
 from repro.core.packages import Package, PackageEvaluator
-from repro.core.profiles import AggregateProfile, Aggregation
+from repro.core.profiles import AggregateProfile
 from repro.core.preferences import Preference
 from repro.core.utility import LinearUtility
 from repro.sampling.base import ConstraintSet

@@ -37,8 +37,6 @@ class TestRejectionSampler:
         assert pool.stats["acceptance_rate"] == pytest.approx(1.0)
 
     def test_exhausts_attempts_on_infeasible_region(self, two_dim_prior):
-        # w1 >= 0 and -w1 >= tiny margin is (almost surely) unsatisfiable.
-        impossible = ConstraintSet(np.array([[1.0, 0.0], [-1.0, 0.0]]))
         sampler = RejectionSampler(two_dim_prior, rng=0, max_attempts=2_000)
         with pytest.raises(RejectionSamplingError):
             # Requires w1 == 0 exactly; measure-zero region.

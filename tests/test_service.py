@@ -208,7 +208,7 @@ class TestEngineBasics:
         engine = make_engine(serving_catalog, serving_profile)
         a = engine.create_session(seed=3)
         b = engine.create_session(seed=3)
-        round_a = engine.recommend(a)
+        engine.recommend(a)
         round_b = engine.recommend(b)
         engine.feedback(a, 1)
         engine.feedback(b, round_b.presented[1])
@@ -312,6 +312,120 @@ class TestPoolSharing:
         ]
 
 
+# ========================================== across-session search batching
+class TestAcrossSessionSearchBatching:
+    """recommend_many's one-walk top-k prefetch over every missing pool."""
+
+    def _exact_engine(self, catalog, profile, **engine_overrides):
+        """An engine with *exact* search settings: a finite beam pools its
+        budget over the batch, which is the one legitimate divergence from
+        per-pool search, so equivalence tests run beam- and cap-free."""
+        config = EngineConfig(
+            elicitation=fast_elicitation_config(
+                search_beam_width=None, search_items_cap=None
+            ),
+            seed=1,
+            **engine_overrides,
+        )
+        return RecommendationEngine(catalog, profile, config)
+
+    def _heterogeneous_round(self, engine, num_sessions=5):
+        """Sessions with distinct feedback prefixes, ready for round 2."""
+        ids = [engine.create_session(seed=100 + i) for i in range(num_sessions)]
+        rounds = engine.recommend_many(ids)
+        for index, (session_id, round_) in enumerate(zip(ids, rounds)):
+            engine.feedback(session_id, index % len(round_.presented))
+        return ids
+
+    def test_prefetched_ranked_lists_match_per_session_recompute(
+        self, serving_catalog, serving_profile
+    ):
+        """Exactness: the shared walk's ranked list per pool must equal what
+        the session would compute for itself on the same pool."""
+        engine = self._exact_engine(serving_catalog, serving_profile)
+        ids = self._heterogeneous_round(engine)
+        rounds = engine.recommend_many(ids)
+        assert engine.stats().topk_batched_pools >= 2
+        for session_id, round_ in zip(ids, rounds):
+            recommender = engine.sessions.acquire(session_id).recommender
+            expected = recommender.current_top_k()
+            assert [p.items for p in round_.recommended] == [
+                p.items for p in expected
+            ]
+
+    def test_across_session_batching_preserves_rounds(
+        self, serving_catalog, serving_profile
+    ):
+        """The flag only changes *how* searches run, not what is served."""
+        on = self._exact_engine(serving_catalog, serving_profile)
+        off = self._exact_engine(
+            serving_catalog, serving_profile, batch_search_across_sessions=False
+        )
+        ids_on = self._heterogeneous_round(on)
+        ids_off = self._heterogeneous_round(off)
+        rounds_on = on.recommend_many(ids_on)
+        rounds_off = off.recommend_many(ids_off)
+        assert [presented_items(r) for r in rounds_on] == [
+            presented_items(r) for r in rounds_off
+        ]
+        assert on.stats().topk_batched_pools >= 2
+        assert off.stats().topk_batched_pools == 0
+
+    def test_topk_prefetch_counts_one_honest_miss_per_pool(
+        self, serving_catalog, serving_profile
+    ):
+        """A prefetch-computed ranked list is a miss for the session that
+        caused it; only genuinely shared fetches count as hits."""
+        engine = make_engine(serving_catalog, serving_profile)
+        ids = [engine.create_session(seed=4) for _ in range(3)]
+        engine.recommend_many(ids)
+        stats = engine.stats()
+        assert stats.topk_batched_pools == 1  # one shared empty-prefix pool
+        assert stats.topk_cache["misses"] == 1
+        assert stats.topk_cache["hits"] == 2
+
+    def test_prefetch_skips_pools_with_cached_topk(
+        self, serving_catalog, serving_profile
+    ):
+        engine = make_engine(serving_catalog, serving_profile)
+        ids = [engine.create_session(seed=4) for _ in range(3)]
+        engine.recommend_many(ids)
+        batched_before = engine.stats().topk_batched_pools
+        more = [engine.create_session(seed=4) for _ in range(2)]
+        engine.recommend_many(more)  # same empty-prefix pool: already cached
+        assert engine.stats().topk_batched_pools == batched_before
+
+    def test_disabled_topk_cache_disables_prefetch(
+        self, serving_catalog, serving_profile
+    ):
+        engine = make_engine(serving_catalog, serving_profile, topk_cache_size=0)
+        ids = self._heterogeneous_round(engine)
+        rounds = engine.recommend_many(ids)
+        assert len(rounds) == len(ids)
+        assert engine.stats().topk_batched_pools == 0
+
+    def test_prefetch_respects_a_tiny_topk_cache(
+        self, serving_catalog, serving_profile
+    ):
+        """More distinct pools than cache slots: the prefetch must not search
+        pools whose results would be evicted before their sessions read them,
+        and the excess sessions still get correct rounds serially."""
+        engine = self._exact_engine(
+            serving_catalog, serving_profile, topk_cache_size=2
+        )
+        ids = self._heterogeneous_round(engine)  # 5 distinct pools
+        batched_before = engine.stats().topk_batched_pools
+        rounds = engine.recommend_many(ids)
+        assert len(rounds) == len(ids)
+        # At most cache-capacity pools joined this batch's shared walk.
+        assert engine.stats().topk_batched_pools - batched_before <= 2
+        for session_id, round_ in zip(ids, rounds):
+            recommender = engine.sessions.acquire(session_id).recommender
+            assert [p.items for p in round_.recommended] == [
+                p.items for p in recommender.current_top_k()
+            ]
+
+
 # ========================================================== session lifecycle
 class TestSessionLifecycle:
     def test_ttl_expiry(self, serving_catalog, serving_profile):
@@ -347,10 +461,10 @@ class TestSessionLifecycle:
             serving_catalog, serving_profile, store=store, max_active_sessions=1
         )
         a = engine.create_session(seed=5)
-        ra = engine.recommend(a)
+        engine.recommend(a)
         engine.feedback(a, 0)
         expected_next = engine.snapshot(a)  # state we must come back to
-        b = engine.create_session(seed=6)  # evicts a to the store
+        engine.create_session(seed=6)  # evicts a to the store
         assert engine.stats().sessions_swapped_out >= 1
         assert a in store.list_ids()
         ra2 = engine.recommend(a)  # transparently restored (evicting b)

@@ -104,6 +104,47 @@ class TestPropertyEquivalence:
             assert_equivalent(s, b)
 
 
+class TestSearchPools:
+    """The multi-pool entry point used for across-session search batching."""
+
+    @pytest.mark.parametrize("seed", range(0, 30, 3))
+    def test_concatenated_pools_match_per_pool_search(self, seed):
+        evaluator, weights, k = random_instance(seed)
+        rng = np.random.default_rng(seed + 1000)
+        matrices = [
+            weights,
+            rng.uniform(-1, 1, (3, weights.shape[1])),
+            weights[:1] + rng.normal(0, 0.1, (2, weights.shape[1])),
+        ]
+        searcher = BatchTopKPackageSearcher(evaluator)
+        pooled = searcher.search_pools(matrices, k)
+        assert len(pooled) == len(matrices)
+        for matrix, results in zip(matrices, pooled):
+            assert len(results) == matrix.shape[0]
+            solo = searcher.search_many(matrix, k)
+            for s, b in zip(solo, results):
+                assert s.utilities == b.utilities
+
+    def test_duplicate_rows_across_pools_share_results(self):
+        evaluator, weights, k = random_instance(2)
+        searcher = BatchTopKPackageSearcher(evaluator)
+        pooled = searcher.search_pools([weights, weights.copy()], k)
+        for a, b in zip(pooled[0], pooled[1]):
+            assert a.utilities == b.utilities
+            assert [p.items for p in a.packages] == [p.items for p in b.packages]
+
+    def test_empty_pool_list(self):
+        evaluator, _weights, k = random_instance(3)
+        assert BatchTopKPackageSearcher(evaluator).search_pools([], k) == []
+
+    def test_rejects_wrong_width_matrix(self):
+        evaluator, weights, k = random_instance(4)
+        searcher = BatchTopKPackageSearcher(evaluator)
+        bad = np.zeros((2, weights.shape[1] + 1))
+        with pytest.raises(ValueError, match="pool matrix"):
+            searcher.search_pools([weights, bad], k)
+
+
 class TestDegenerateCases:
     def test_single_vector_batch_equals_search(self):
         evaluator, weights, k = random_instance(1)

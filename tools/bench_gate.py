@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""CI performance gate: validate the benchmark metrics in ``BENCH_ci.json``.
+
+The gated benchmark modules (service, batch top-k, async front-end) each
+assert a speedup floor *and* record the measured number via
+``bench_utils.record_ci_metric``.  This script is the second, independent
+half of the ``bench-gate`` CI job: after the benchmarks have run it checks
+
+1. every **required** metric is present (a silently skipped benchmark cannot
+   pass the gate),
+2. no metric's recorded floor has been quietly lowered below the pinned
+   minimum committed here (editing the floor in a benchmark module without
+   touching this file fails the gate loudly), and
+3. every measured value clears its floor — the same comparison the pytest
+   assertion made, re-checked from the artifact so a stale or hand-edited
+   file cannot pass.
+
+Exit codes: 0 = all gates pass, 1 = a performance regression or a lowered
+floor, 2 = missing/malformed metrics file.
+
+Usage::
+
+    python tools/bench_gate.py                   # check ./BENCH_ci.json
+    python tools/bench_gate.py path/to/file.json # check a specific artifact
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_METRICS_PATH = os.path.join(REPO_ROOT, "BENCH_ci.json")
+
+#: The pinned minimum floor per gated metric.  A benchmark may raise its
+#: asserted floor freely; lowering one below these values requires editing
+#: this file, which is the point — the regression budget is a reviewed,
+#: committed decision, not a constant next to the benchmark that trips it.
+PINNED_FLOORS = {
+    "service_shared_vs_per_session_speedup": 2.0,
+    "topk_batch_vs_sequential_speedup": 5.0,
+    "async_vs_serial_throughput_speedup": 3.0,
+}
+
+EXPECTED_SCHEMA_VERSION = 1
+
+
+def main(argv):
+    path = argv[0] if argv else DEFAULT_METRICS_PATH
+    if not os.path.exists(path):
+        print(f"error: metrics file not found: {path}", file=sys.stderr)
+        print("run the gated benchmarks first, e.g.:", file=sys.stderr)
+        print(
+            "  python -m pytest benchmarks/test_bench_service.py "
+            "benchmarks/test_bench_topk_batch.py benchmarks/test_bench_async.py",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except json.JSONDecodeError as exc:
+        print(f"error: {path} is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    if payload.get("schema_version") != EXPECTED_SCHEMA_VERSION:
+        print(
+            f"error: unexpected schema_version {payload.get('schema_version')!r} "
+            f"(this gate understands {EXPECTED_SCHEMA_VERSION})",
+            file=sys.stderr,
+        )
+        return 2
+    metrics = payload.get("metrics", {})
+
+    failures = []
+    width = max(len(name) for name in PINNED_FLOORS)
+    print(f"bench gate: {path}")
+    for name, pinned in sorted(PINNED_FLOORS.items()):
+        entry = metrics.get(name)
+        if entry is None:
+            failures.append(f"{name}: required metric missing from {path}")
+            print(f"  {name:<{width}}  MISSING")
+            continue
+        value = float(entry["value"])
+        floor = float(entry["floor"])
+        unit = entry.get("unit", "")
+        status = "ok"
+        if floor < pinned:
+            status = "FLOOR LOWERED"
+            failures.append(
+                f"{name}: recorded floor {floor}{unit} is below the pinned "
+                f"minimum {pinned}{unit} (raise it, or change tools/bench_gate.py "
+                f"in a reviewed commit)"
+            )
+        if value < floor:
+            status = "REGRESSION"
+            failures.append(
+                f"{name}: measured {value}{unit} is below its floor {floor}{unit}"
+            )
+        print(
+            f"  {name:<{width}}  value={value:>8.3f}{unit}  "
+            f"floor={floor:>6.2f}{unit}  pinned={pinned:>6.2f}{unit}  [{status}]"
+        )
+    extra = sorted(set(metrics) - set(PINNED_FLOORS))
+    for name in extra:
+        entry = metrics[name]
+        print(
+            f"  {name:<{width}}  value={float(entry['value']):>8.3f}"
+            f"{entry.get('unit', '')}  (unpinned, informational)"
+        )
+
+    if failures:
+        print("\n" + "\n".join(failures), file=sys.stderr)
+        print(f"\nbench gate FAILED ({len(failures)} problem(s))", file=sys.stderr)
+        return 1
+    print("bench gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
