@@ -15,7 +15,9 @@ The public API re-exports the pieces most users need:
 * ranking semantics: :class:`RankingSemantics`;
 * dataset generators: :func:`load_benchmark_dataset`, :func:`generate_nba_dataset`;
 * the online serving engine: :class:`RecommendationEngine`,
-  :class:`EngineConfig`, :class:`TrafficSimulator`;
+  :class:`EngineConfig`, :class:`TrafficSimulator`, and its
+  fingerprint-partitioned pool state layer :class:`ShardedPoolRepository`
+  with :class:`WarmStartPlanner`;
 * the async front-end: :class:`AsyncRecommendationServer`,
   :class:`MicroBatchDispatcher`, :class:`AsyncTrafficSimulator`.
 
@@ -65,17 +67,21 @@ from repro.sampling.batch import BatchRejectionSampler
 from repro.service import (
     AsyncRecommendationServer,
     DispatcherClosedError,
+    DispatcherOverloadedError,
     MicroBatchDispatcher,
     EngineConfig,
     EngineStats,
     JsonSessionStore,
     MemorySessionStore,
+    PoolRepository,
     RecommendationEngine,
     SamplePoolCache,
     SessionExpiredError,
     SessionManager,
     SessionNotFoundError,
+    ShardedPoolRepository,
     SqliteSessionStore,
+    WarmStartPlanner,
 )
 
 __version__ = "1.1.0"
@@ -124,6 +130,7 @@ __all__ = [
     "AsyncRecommendationServer",
     "MicroBatchDispatcher",
     "DispatcherClosedError",
+    "DispatcherOverloadedError",
     "BatchRejectionSampler",
     "RecommendationEngine",
     "EngineConfig",
@@ -132,6 +139,9 @@ __all__ = [
     "SessionNotFoundError",
     "SessionExpiredError",
     "SamplePoolCache",
+    "PoolRepository",
+    "ShardedPoolRepository",
+    "WarmStartPlanner",
     "MemorySessionStore",
     "JsonSessionStore",
     "SqliteSessionStore",

@@ -63,6 +63,27 @@ PoolProvider = Callable[
 ]
 
 
+def click_constraint_set(
+    evaluator: PackageEvaluator,
+    clicked: Package,
+    presented: Sequence[Package],
+    reduced: bool = True,
+) -> ConstraintSet:
+    """The constraint set one click on ``clicked`` among ``presented`` induces.
+
+    Mirrors what :meth:`PackageRecommender.feedback` does to a *fresh* session
+    (an empty preference DAG): the click yields ``clicked ≻ p`` for every
+    other presented package, and the (optionally transitively reduced) set of
+    half-space directions is the resulting constraint set.  The serving
+    layer's :class:`~repro.service.pool_repository.WarmStartPlanner` uses this
+    to enumerate the first-click pools a cold session can land on, keyed by
+    the same fingerprints real sessions produce.
+    """
+    store = PreferenceStore(evaluator.catalog.num_features, on_cycle="drop")
+    store.add_click_feedback(evaluator, clicked, presented)
+    return ConstraintSet.from_store(store, reduced=reduced)
+
+
 @dataclass
 class ElicitationConfig:
     """Configuration of the preference-elicitation recommender.
@@ -320,12 +341,14 @@ class PackageRecommender:
     def set_pool_provider(self, provider: Optional["PoolProvider"]) -> None:
         """Delegate sample-pool acquisition to an external provider.
 
-        A serving engine uses this hook to source pools from a shared cache
-        (keyed by the constraint-set fingerprint) instead of sampling inside
-        every session.  The provider is called with ``(constraints, count,
-        stale_pool)`` where ``stale_pool`` is the pre-feedback pool, if any,
-        that the provider may maintain incrementally (§3.4) rather than
-        resampling from scratch.
+        A serving engine uses this hook to source pools from a shared,
+        fingerprint-partitioned repository
+        (:class:`~repro.service.pool_repository.PoolRepository`, keyed by the
+        constraint-set fingerprint) instead of sampling inside every session.
+        The provider is called with ``(constraints, count, stale_pool)``
+        where ``stale_pool`` is the pre-feedback pool, if any, that the
+        provider may maintain incrementally (§3.4) rather than resampling
+        from scratch.
         """
         self._pool_provider = provider
 

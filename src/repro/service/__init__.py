@@ -11,18 +11,28 @@ identical therefore share one pool and one top-k result, keyed by a canonical
 :meth:`~repro.sampling.base.ConstraintSet.fingerprint`.
 
 * :class:`RecommendationEngine` — request/response facade
-  (``create_session`` / ``recommend`` / ``feedback`` / ``close``) with a
-  shared :class:`SamplePoolCache`, a shared top-k result cache, and batched
-  sampling across pending sessions.
+  (``create_session`` / ``recommend`` / ``feedback`` / ``close``) over the
+  shared pool repository, a shared top-k result cache, and batched sampling
+  across pending sessions.
+* :class:`PoolRepository` / :class:`ShardedPoolRepository` — the
+  fingerprint-partitioned pool state layer: pool keys consistent-hash across
+  N shards, each owning its pools, LRU budget, pinned set and sampler
+  construction, with fills grouped per shard and runnable in parallel via a
+  :class:`ShardBackend` (inline or threads).  Fills are key-deterministic, so
+  shard count never changes what is served.
+* :class:`WarmStartPlanner` — precomputes and pins the empty-prefix pool and
+  the top-K first-click pools at engine start so cold sessions never sample.
 * :class:`SessionManager` — bounded active-session table with TTL expiry and
   LRU eviction; evicted sessions are transparently swapped out to a
   :class:`SessionStore` (JSON files or SQLite in WAL mode) and restored on
-  their next request.
+  their next request.  Swap-out snapshots reference pools by fingerprint
+  (stored once per key in the store's pool table) — snapshot compaction.
 * :class:`AsyncRecommendationServer` + :class:`MicroBatchDispatcher` — the
   asyncio front-end: concurrent ``recommend`` requests accumulate in a
-  micro-batch window (max size / max wait) and dispatch together through
-  ``recommend_many``, so concurrency feeds the batched sampler and the
-  across-session top-k walk instead of serialising on them.
+  micro-batch window (max size / max wait, with a ``max_pending``
+  backpressure cap) and dispatch together through ``recommend_many``, so
+  concurrency feeds the batched sampler and the across-session top-k walk
+  instead of serialising on them.
 * :class:`~repro.simulation.traffic.TrafficSimulator` /
   :class:`~repro.simulation.traffic.AsyncTrafficSimulator` (in the simulation
   package) — closed- and open-loop load generators used by the serving
@@ -32,10 +42,23 @@ identical therefore share one pool and one top-k result, keyed by a canonical
 from repro.service.async_server import AsyncRecommendationServer
 from repro.service.dispatcher import (
     DispatcherClosedError,
+    DispatcherOverloadedError,
     DispatcherStats,
     MicroBatchDispatcher,
 )
 from repro.service.pool_cache import CacheStats, LruCache, SamplePoolCache
+from repro.service.pool_repository import (
+    InlineShardBackend,
+    PoolFillJob,
+    PoolRepository,
+    PoolShard,
+    ShardBackend,
+    ShardedPoolRepository,
+    ThreadShardBackend,
+    WarmStartPlanner,
+    WarmStartReport,
+    build_shard_backend,
+)
 from repro.service.store import (
     JsonSessionStore,
     MemorySessionStore,
@@ -54,11 +77,22 @@ from repro.service.engine import (
 __all__ = [
     "AsyncRecommendationServer",
     "DispatcherClosedError",
+    "DispatcherOverloadedError",
     "DispatcherStats",
     "MicroBatchDispatcher",
     "CacheStats",
     "LruCache",
     "SamplePoolCache",
+    "InlineShardBackend",
+    "PoolFillJob",
+    "PoolRepository",
+    "PoolShard",
+    "ShardBackend",
+    "ShardedPoolRepository",
+    "ThreadShardBackend",
+    "WarmStartPlanner",
+    "WarmStartReport",
+    "build_shard_backend",
     "SessionStore",
     "MemorySessionStore",
     "JsonSessionStore",

@@ -51,6 +51,11 @@ class AsyncRecommendationServer:
         dispatched once ``max_batch_size`` ``recommend`` requests are pending
         or ``max_wait`` seconds after its first request, whichever comes
         first.
+    max_pending:
+        Backpressure cap forwarded to the dispatcher: ``recommend`` calls
+        arriving while the window already holds this many requests raise
+        :class:`~repro.service.dispatcher.DispatcherOverloadedError` instead
+        of queueing unboundedly; ``None`` never sheds.
     """
 
     def __init__(
@@ -58,10 +63,14 @@ class AsyncRecommendationServer:
         engine: RecommendationEngine,
         max_batch_size: int = 16,
         max_wait: float = 0.002,
+        max_pending: Optional[int] = None,
     ) -> None:
         self.engine = engine
         self.dispatcher = MicroBatchDispatcher(
-            engine, max_batch_size=max_batch_size, max_wait=max_wait
+            engine,
+            max_batch_size=max_batch_size,
+            max_wait=max_wait,
+            max_pending=max_pending,
         )
 
     # -------------------------------------------------------------- lifecycle

@@ -22,6 +22,12 @@ fails the whole call), so a failing batch is re-served request by request —
 every healthy request still gets its round and only the failing ones see
 their exception.
 
+Backpressure: ``max_pending`` caps how many requests the current window may
+hold; a submission beyond it fails fast with
+:class:`DispatcherOverloadedError` (counted as ``requests_shed``) instead of
+growing the queue, so overload surfaces at admission where a client can back
+off, not as unbounded latency.
+
 Graceful shutdown: :meth:`aclose` refuses new submissions, then drains —
 every request already admitted to the window is dispatched and resolved
 before the coroutine returns.
@@ -35,6 +41,7 @@ from typing import List, Optional, Tuple
 
 __all__ = [
     "DispatcherClosedError",
+    "DispatcherOverloadedError",
     "DispatcherStats",
     "MicroBatchDispatcher",
 ]
@@ -42,6 +49,16 @@ __all__ = [
 
 class DispatcherClosedError(RuntimeError):
     """A request was submitted after :meth:`MicroBatchDispatcher.aclose`."""
+
+
+class DispatcherOverloadedError(RuntimeError):
+    """A request was shed: the pending window is at ``max_pending``.
+
+    Raised synchronously inside :meth:`MicroBatchDispatcher.submit`, before
+    the request is admitted — the shed request never occupies a window slot
+    and its session is never advanced, so the caller can safely retry (with
+    backoff) or degrade.
+    """
 
 
 @dataclass
@@ -52,6 +69,7 @@ class DispatcherStats:
     requests_completed: int = 0
     requests_failed: int = 0
     requests_cancelled: int = 0
+    requests_shed: int = 0
     batches_dispatched: int = 0
     size_flushes: int = 0
     timer_flushes: int = 0
@@ -73,6 +91,7 @@ class DispatcherStats:
             "requests_completed": self.requests_completed,
             "requests_failed": self.requests_failed,
             "requests_cancelled": self.requests_cancelled,
+            "requests_shed": self.requests_shed,
             "batches_dispatched": self.batches_dispatched,
             "size_flushes": self.size_flushes,
             "timer_flushes": self.timer_flushes,
@@ -98,6 +117,16 @@ class MicroBatchDispatcher:
     max_wait:
         Seconds the *first* request of a window waits for company before the
         window flushes anyway (the latency bound an idle-period request pays).
+    max_pending:
+        Backpressure cap on the pending window: a ``submit`` arriving while
+        ``max_pending`` requests are already waiting is rejected with
+        :class:`DispatcherOverloadedError` instead of being admitted (and
+        counted in ``DispatcherStats.requests_shed``).  ``None`` (default)
+        never sheds.  The cap binds when it is below ``max_batch_size`` —
+        with dispatch running synchronously on the event loop, the size
+        flush otherwise empties the window first — and it is the safety
+        valve that keeps admission bounded if dispatch ever becomes
+        asynchronous (an executor, a process pool).
     """
 
     def __init__(
@@ -105,14 +134,20 @@ class MicroBatchDispatcher:
         engine,
         max_batch_size: int = 16,
         max_wait: float = 0.002,
+        max_pending: Optional[int] = None,
     ) -> None:
         if max_batch_size <= 0:
             raise ValueError(f"max_batch_size must be > 0, got {max_batch_size}")
         if max_wait < 0:
             raise ValueError(f"max_wait must be >= 0, got {max_wait}")
+        if max_pending is not None and max_pending <= 0:
+            raise ValueError(
+                f"max_pending must be > 0 or None, got {max_pending}"
+            )
         self.engine = engine
         self.max_batch_size = int(max_batch_size)
         self.max_wait = float(max_wait)
+        self.max_pending = int(max_pending) if max_pending is not None else None
         self.stats = DispatcherStats()
         self._pending: List[Tuple[str, asyncio.Future]] = []
         self._timer: Optional[asyncio.TimerHandle] = None
@@ -128,6 +163,15 @@ class MicroBatchDispatcher:
         """
         if self._closed:
             raise DispatcherClosedError("dispatcher is closed to new requests")
+        if (
+            self.max_pending is not None
+            and len(self._pending) >= self.max_pending
+        ):
+            self.stats.requests_shed += 1
+            raise DispatcherOverloadedError(
+                f"dispatcher window is full ({self.max_pending} pending "
+                f"requests); retry after the current window flushes"
+            )
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         self._pending.append((session_id, future))

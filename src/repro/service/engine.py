@@ -5,11 +5,18 @@ sessions over one shared catalog.  Per-session state stays tiny (preference
 DAG, counters, RNG); the expensive artifacts are shared across sessions:
 
 * **Sample pools** — keyed by the canonical fingerprint of the session's
-  constraint set, so sessions with identical feedback prefixes share one pool
-  of posterior weight samples (:class:`~repro.service.pool_cache.SamplePoolCache`).
-  On a cache miss the engine first *maintains* the session's pre-feedback
-  pool (§3.4: keep the still-valid samples, top up the rest) instead of
-  resampling from scratch.
+  constraint set and owned by a fingerprint-partitioned
+  :class:`~repro.service.pool_repository.PoolRepository`: every pool lookup
+  routes by key to its owning shard, each shard has its own LRU budget and
+  pinned (warm) set, and cache fills for different shards are independent
+  work items the shard backend can run in parallel.  On a cache miss the
+  engine first *maintains* the session's pre-feedback pool (§3.4: keep the
+  still-valid samples, top up the rest) instead of resampling from scratch.
+  Fills are **key-deterministic**: the fill sampler's RNG derives from the
+  engine seed plus the pool key, so a pool's contents do not depend on shard
+  placement, shard count, or fill order — 1-shard and N-shard engines serve
+  bit-identical rounds, and a snapshot can reference a pool by fingerprint
+  alone.
 * **Top-k results** — for a given pool, ``k`` and semantics the ranked
   "exploit" packages are identical for every session, so they are cached too;
   only the random exploration packages are drawn per session.  When the
@@ -19,17 +26,26 @@ DAG, counters, RNG); the expensive artifacts are shared across sessions:
   sorted-list walk for the whole sample pool instead of one Python search
   per weight sample.
 * **Sampling work** — :meth:`recommend_many` groups pending sessions by
-  constraint fingerprint and fills every missing pool from shared candidate
-  blocks via :class:`~repro.sampling.batch.BatchRejectionSampler`, one
-  vectorised numpy pass instead of per-session Python loops.
+  constraint fingerprint and hands every missing pool to the repository as
+  one :meth:`~repro.service.pool_repository.ShardedPoolRepository.fill_many`
+  batch, grouped per shard.
+* **Warm starts** — :meth:`warm_start` (or
+  ``EngineConfig.warm_start_first_clicks``) precomputes and pins the
+  empty-prefix pool and the top-K first-click pools via
+  :class:`~repro.service.pool_repository.WarmStartPlanner`, so cold sessions
+  never sample.
 
 Session lifecycle (bounded active set, TTL expiry, LRU swap-out to a durable
 store, snapshot/restore) is delegated to
-:class:`~repro.service.session_manager.SessionManager`.
+:class:`~repro.service.session_manager.SessionManager`.  Swap-out snapshots
+reference their pool by fingerprint (the pool payload is stored once per
+distinct key in the session store's pool table) instead of embedding
+``num_samples × m`` floats per session — snapshot compaction.
 """
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Union
@@ -53,7 +69,16 @@ from repro.sampling.gaussian_mixture import GaussianMixture
 from repro.sampling.importance import ImportanceSampler
 from repro.sampling.mcmc import MetropolisHastingsSampler
 from repro.sampling.rejection import RejectionSampler
-from repro.service.pool_cache import LruCache, SamplePoolCache
+from repro.service.pool_cache import LruCache
+from repro.service.pool_repository import (
+    PoolFillJob,
+    PoolRepository,
+    SHARD_BACKEND_NAMES,
+    ShardedPoolRepository,
+    WarmStartPlanner,
+    WarmStartReport,
+    build_shard_backend,
+)
 from repro.topk.batch_search import BatchTopKPackageSearcher
 from repro.service.session_manager import (
     SessionEntry,
@@ -73,7 +98,12 @@ __all__ = [
 ]
 
 #: Snapshot schema version written by :meth:`RecommendationEngine.snapshot`.
-SNAPSHOT_VERSION = 1
+#: Version 2 added pool-by-reference payloads (``pool: {"key": ...}`` without
+#: samples); version-1 payloads (pool always embedded) restore unchanged.
+SNAPSHOT_VERSION = 2
+
+#: Snapshot versions :meth:`RecommendationEngine.restore` accepts.
+SUPPORTED_SNAPSHOT_VERSIONS = (1, 2)
 
 
 @dataclass
@@ -92,15 +122,23 @@ class EngineConfig:
         Idle time after which a session expires permanently; ``None`` never
         expires.
     pool_cache_size:
-        Capacity of the shared sample-pool cache; ``0`` disables pool sharing
-        entirely (every session samples for itself — the per-user baseline).
+        Total pool-storage budget of the pool repository, split across its
+        shards; ``0`` disables pool sharing entirely (every session samples
+        for itself — the per-user baseline).
+    pool_shards:
+        Number of partitions the repository consistent-hashes pool keys
+        across.  Results are bit-identical for any shard count; sharding
+        changes *where* fills run, never what they produce.
+    pool_shard_backend:
+        ``"inline"`` (sequential, default) or ``"thread"`` (one worker per
+        shard; fills for different shards overlap).
     topk_cache_size:
         Capacity of the shared top-k result cache; ``0`` disables it.
     use_batch_sampler:
-        Fill missing pools with vectorised shared-block rejection sampling
-        (with per-set MCMC fallback) instead of the per-session sampler.
+        Fill pools with vectorised block rejection sampling (with per-set
+        MCMC fallback) instead of the configured per-session sampler kind.
     batch_block_size / batch_max_blocks:
-        Candidate-block parameters of the batch sampler.
+        Candidate-block parameters of the batch fill samplers.
     maintain_on_miss:
         On a pool-cache miss after feedback, keep the still-valid samples of
         the session's previous pool and only top up the deficit (§3.4) rather
@@ -113,20 +151,29 @@ class EngineConfig:
         batch — instead of one batch search per pool.  Requires the pool and
         top-k caches plus ``use_batch_search`` in the elicitation config;
         without them the per-session path is used.
+    warm_start_first_clicks:
+        When not ``None``, run :meth:`RecommendationEngine.warm_start` at
+        construction: pin the empty-prefix pool plus the pools of the top
+        ``warm_start_first_clicks`` first-click choices (``0`` warms the
+        empty-prefix pool only).
     seed:
-        Engine-level seed; all per-session seeds derive from it.
+        Engine-level seed; all per-session seeds and per-key fill seeds
+        derive from it.
     """
 
     elicitation: ElicitationConfig = field(default_factory=ElicitationConfig)
     max_active_sessions: int = 10_000
     session_ttl_seconds: Optional[float] = None
     pool_cache_size: int = 512
+    pool_shards: int = 1
+    pool_shard_backend: str = "inline"
     topk_cache_size: int = 2_048
     use_batch_sampler: bool = True
     batch_block_size: int = 2_048
     batch_max_blocks: int = 64
     maintain_on_miss: bool = True
     batch_search_across_sessions: bool = True
+    warm_start_first_clicks: Optional[int] = None
     seed: Optional[int] = 0
 
     def __post_init__(self) -> None:
@@ -136,6 +183,26 @@ class EngineConfig:
             )
         if self.pool_cache_size < 0 or self.topk_cache_size < 0:
             raise ValueError("cache sizes must be >= 0")
+        if self.pool_shards <= 0:
+            raise ValueError(f"pool_shards must be > 0, got {self.pool_shards}")
+        if self.pool_shard_backend not in SHARD_BACKEND_NAMES:
+            raise ValueError(
+                f"pool_shard_backend must be one of {SHARD_BACKEND_NAMES}, "
+                f"got {self.pool_shard_backend!r}"
+            )
+        if (
+            self.warm_start_first_clicks is not None
+            and self.warm_start_first_clicks < 0
+        ):
+            raise ValueError(
+                f"warm_start_first_clicks must be >= 0 or None, "
+                f"got {self.warm_start_first_clicks}"
+            )
+        if self.warm_start_first_clicks is not None and self.pool_cache_size == 0:
+            raise ValueError(
+                "warm_start_first_clicks requires pool_cache_size > 0 "
+                "(warm pools are pinned in the pool repository)"
+            )
 
     @property
     def sharing_enabled(self) -> bool:
@@ -156,12 +223,15 @@ class EngineStats:
     sessions_expired: int
     sessions_swapped_out: int
     sessions_restored: int
+    swap_writes_skipped: int
     rounds_served: int
     feedback_events: int
     pools_sampled: int
     pools_maintained: int
+    pools_warmed: int
     topk_batched_pools: int
     pool_cache: dict
+    pool_repository: dict
     topk_cache: dict
 
     def as_dict(self) -> dict:
@@ -171,12 +241,15 @@ class EngineStats:
             "sessions_expired": self.sessions_expired,
             "sessions_swapped_out": self.sessions_swapped_out,
             "sessions_restored": self.sessions_restored,
+            "swap_writes_skipped": self.swap_writes_skipped,
             "rounds_served": self.rounds_served,
             "feedback_events": self.feedback_events,
             "pools_sampled": self.pools_sampled,
             "pools_maintained": self.pools_maintained,
+            "pools_warmed": self.pools_warmed,
             "topk_batched_pools": self.topk_batched_pools,
             "pool_cache": dict(self.pool_cache),
+            "pool_repository": dict(self.pool_repository),
             "topk_cache": dict(self.topk_cache),
         }
 
@@ -191,11 +264,16 @@ class RecommendationEngine:
     config:
         Engine configuration (defaults are reasonable for tests and demos).
     store:
-        Optional durable :class:`SessionStore` for swap-out and restarts.
+        Optional durable :class:`SessionStore` for swap-out and restarts;
+        reference snapshots persist their pool payloads to its pool table.
     predicates:
         Optional package-schema predicates applied by every session.
     clock:
         Monotonic time source used for TTL/LRU bookkeeping (injectable).
+    pool_repository:
+        Optional externally built :class:`PoolRepository`; by default a
+        :class:`ShardedPoolRepository` is constructed from the config
+        (``pool_cache_size`` / ``pool_shards`` / ``pool_shard_backend``).
     """
 
     def __init__(
@@ -206,10 +284,12 @@ class RecommendationEngine:
         store: Optional[SessionStore] = None,
         predicates: Optional[PredicateSet] = None,
         clock: Callable[[], float] = time.monotonic,
+        pool_repository: Optional[PoolRepository] = None,
     ) -> None:
         self.catalog = catalog
         self.profile = profile
         self.config = config if config is not None else EngineConfig()
+        self.store = store
         self.predicates = predicates
         self.clock = clock
         elicitation = self.config.elicitation
@@ -222,26 +302,26 @@ class RecommendationEngine:
             elicitation.prior_spread,
             rng=self._seed_rng,
         )
-        self.batch_sampler = BatchRejectionSampler(
-            self.prior,
-            rng=self._seed_rng,
-            noise_probability=elicitation.noise_psi,
-            block_size=self.config.batch_block_size,
-            max_blocks=self.config.batch_max_blocks,
+        # Root of every per-key fill seed.  With a seeded engine this is the
+        # seed itself, so fills are reproducible across engine instances (the
+        # basis of restore-by-reference); an unseeded engine draws a random
+        # root once, keeping its fills internally consistent but private.
+        self._fill_seed_root = (
+            self.config.seed
+            if self.config.seed is not None
+            else int(self._seed_rng.integers(0, 2**63 - 1))
         )
-        # Serial engine-level sampler of the *configured* kind, used for
-        # shared-cache pool builds when the batch sampler is disabled.
-        sampler_cls = {
-            "rejection": RejectionSampler,
-            "importance": ImportanceSampler,
-            "mcmc": MetropolisHastingsSampler,
-        }[elicitation.sampler]
-        self.serial_sampler: Sampler = sampler_cls(
-            self.prior,
-            rng=self._seed_rng,
-            noise_probability=elicitation.noise_psi,
-        )
-        self.pool_cache = SamplePoolCache(self.config.pool_cache_size)
+        if pool_repository is not None:
+            self.pool_repository = pool_repository
+        else:
+            self.pool_repository = ShardedPoolRepository(
+                sampler_factory=self._fill_sampler,
+                num_shards=self.config.pool_shards,
+                capacity=self.config.pool_cache_size,
+                backend=build_shard_backend(
+                    self.config.pool_shard_backend, self.config.pool_shards
+                ),
+            )
         self._topk_cache = LruCache(self.config.topk_cache_size)
         # Engine-level batch searcher for across-session search batching:
         # same construction as every session's own searcher (identical
@@ -260,7 +340,7 @@ class RecommendationEngine:
             max_active=self.config.max_active_sessions,
             ttl_seconds=self.config.session_ttl_seconds,
             store=store,
-            snapshot_fn=self._snapshot_entry if store is not None else None,
+            snapshot_fn=self._swap_out_snapshot if store is not None else None,
             restore_fn=self._restore_entry if store is not None else None,
             clock=clock,
         )
@@ -273,7 +353,21 @@ class RecommendationEngine:
         self.feedback_events = 0
         self.pools_sampled = 0
         self.pools_maintained = 0
+        self.pools_warmed = 0
         self.topk_batched_pools = 0
+        if self.config.warm_start_first_clicks is not None:
+            self.warm_start(self.config.warm_start_first_clicks)
+
+    @property
+    def pool_cache(self) -> PoolRepository:
+        """Deprecated alias for :attr:`pool_repository` (pre-sharding name)."""
+        return self.pool_repository
+
+    def close_repository(self) -> None:
+        """Release the pool repository's shard backend (thread pool, if any)."""
+        close = getattr(self.pool_repository, "close", None)
+        if close is not None:
+            close()
 
     # =============================================================== lifecycle
     def create_session(
@@ -347,11 +441,44 @@ class RecommendationEngine:
     def _pool_key(self, constraints: ConstraintSet, count: int) -> str:
         return f"n{count}:{constraints.fingerprint()}"
 
+    def _fill_sampler(self, key: str) -> Sampler:
+        """A fill sampler whose RNG derives from the engine seed and the key.
+
+        This is the repository's determinism contract: a pool built for
+        ``key`` is the same array no matter which shard builds it, in what
+        order, or under which backend — so sharded and unsharded engines are
+        bit-identical, re-fills after eviction reproduce the evicted pool,
+        and restore-by-reference can rebuild a missing pool exactly (for
+        pools that were built fresh; maintained pools depend on their
+        sessions' history and are persisted, not re-derived).
+        """
+        digest = hashlib.blake2b(
+            f"pool-fill:{self._fill_seed_root}:{key}".encode(), digest_size=16
+        ).digest()
+        rng = np.random.default_rng(int.from_bytes(digest, "big"))
+        elicitation = self.config.elicitation
+        if self.config.use_batch_sampler:
+            return BatchRejectionSampler(
+                self.prior,
+                rng=rng,
+                noise_probability=elicitation.noise_psi,
+                block_size=self.config.batch_block_size,
+                max_blocks=self.config.batch_max_blocks,
+            )
+        sampler_cls = {
+            "rejection": RejectionSampler,
+            "importance": ImportanceSampler,
+            "mcmc": MetropolisHastingsSampler,
+        }[elicitation.sampler]
+        return sampler_cls(
+            self.prior, rng=rng, noise_probability=elicitation.noise_psi
+        )
+
     def _stamp_pool(self, pool: SamplePool) -> SamplePool:
         """Tag a freshly built pool with a unique build generation.
 
         The top-k cache keys on (pool key, build); a pool evicted from the
-        pool cache and later rebuilt gets a new generation, so stale top-k
+        repository and later rebuilt gets a new generation, so stale top-k
         results computed from the evicted pool can never be served against
         the rebuilt one.
         """
@@ -372,20 +499,21 @@ class RecommendationEngine:
             # is the miss that caused the build, not a cache win — count it
             # honestly so hit_rate/samples_saved reflect genuinely shared work.
             self._freshly_prefetched.discard(key)
-            pool = self.pool_cache.peek(key)
+            pool = self.pool_repository.peek(key)
             if pool is not None:
-                self.pool_cache.stats.misses += 1
+                self.pool_repository.record_miss(key)
                 entry.pool_key = key
                 return pool
-        pool = self.pool_cache.get(key)
+        pool = self.pool_repository.get(key)
         if pool is None:
-            pool = self._stamp_pool(self._build_pool(constraints, count, stale))
-            self.pool_cache.put(key, pool)
+            pool = self._stamp_pool(self._build_pool(key, constraints, count, stale))
+            self.pool_repository.put(key, pool)
         entry.pool_key = key
         return pool
 
     def _build_pool(
         self,
+        key: str,
         constraints: ConstraintSet,
         count: int,
         stale: Optional[SamplePool],
@@ -395,9 +523,11 @@ class RecommendationEngine:
             self.pools_maintained += 1
             if deficit <= 0:
                 return surviving
-            return surviving.concatenate(self._sample_fresh(constraints, deficit))
+            return surviving.concatenate(
+                self.pool_repository.fill_one(key, constraints, deficit)
+            )
         self.pools_sampled += 1
-        return self._sample_fresh(constraints, count)
+        return self.pool_repository.fill_one(key, constraints, count)
 
     def _maintenance_split(
         self,
@@ -413,12 +543,17 @@ class RecommendationEngine:
             surviving = surviving.subset(np.arange(count))
         return surviving, count - surviving.size
 
-    def _sample_fresh(self, constraints: ConstraintSet, count: int) -> SamplePool:
-        if self.config.use_batch_sampler:
-            return self.batch_sampler.sample(count, constraints)
-        # Shared-cache mode without the batch sampler: honour the configured
-        # elicitation sampler for engine-level pool builds.
-        return self.serial_sampler.sample(count, constraints)
+    # ================================================================ warm start
+    def warm_start(self, first_clicks: Optional[int] = None) -> WarmStartReport:
+        """Precompute and pin the always-hot pools so cold sessions never sample.
+
+        Pins the empty-prefix pool, parks its ranked top-k list in the top-k
+        cache, and pins the pools of the top ``first_clicks`` first-click
+        choices (default: the elicitation ``k``) — see
+        :class:`~repro.service.pool_repository.WarmStartPlanner`.
+        """
+        report = WarmStartPlanner(self, first_clicks=first_clicks).warm()
+        return report
 
     # ================================================================ serving
     def recommend(self, session_id: str) -> RecommendationRound:
@@ -432,8 +567,9 @@ class RecommendationEngine:
         """Serve one round for many sessions, batching the missing pools.
 
         Sessions are grouped by constraint fingerprint; each distinct missing
-        pool is filled once (maintenance first, then shared-block batch draws
-        across groups) before the per-session rounds are produced.
+        pool is handed to the pool repository as one fill batch (maintenance
+        first, then per-shard fill groups the shard backend may run in
+        parallel) before the per-session rounds are produced.
         """
         entries: List[SessionEntry] = []
         fresh_topk_keys: set = set()
@@ -464,10 +600,10 @@ class RecommendationEngine:
     def _serve_round(self, entry: SessionEntry) -> RecommendationRound:
         recommender = entry.recommender
         recommended: Optional[List[Package]] = None
-        # The top-k cache is keyed by the pool-cache key plus the pool's
-        # build generation: the key alone only equals pool identity while
-        # pools are shared, and the generation guards against serving top-k
-        # lists computed from a pool that was evicted and rebuilt since.
+        # The top-k cache is keyed by the pool key plus the pool's build
+        # generation: the key alone only equals pool identity while pools
+        # are shared, and the generation guards against serving top-k lists
+        # computed from a pool that was evicted and rebuilt since.
         if self.config.topk_cache_size > 0 and self.config.pool_cache_size > 0:
             pool = recommender.sample_pool()  # ensures entry.pool_key is current
             if entry.pool_key is not None:
@@ -490,6 +626,7 @@ class RecommendationEngine:
                     recommended = list(cached)
         round_ = recommender.recommend(recommended=recommended)
         entry.rounds_served += 1
+        entry.dirty = True
         self.rounds_served += 1
         return round_
 
@@ -519,14 +656,19 @@ class RecommendationEngine:
             clicked = presented[index]
         added = recommender.feedback(clicked)
         entry.feedback_events += 1
+        entry.dirty = True
         self.feedback_events += 1
         return added
 
-    def _topk_key(self, entry: SessionEntry, pool: SamplePool):
+    def _topk_key_for(
+        self, pool_key: Optional[str], pool: SamplePool, config: ElicitationConfig
+    ):
         """Top-k cache key: pool identity (key + build) plus query shape."""
-        config = entry.recommender.config
         build = pool.stats.get("pool_build")
-        return (entry.pool_key, build, config.k, config.semantics.value)
+        return (pool_key, build, config.k, config.semantics.value)
+
+    def _topk_key(self, entry: SessionEntry, pool: SamplePool):
+        return self._topk_key_for(entry.pool_key, pool, entry.recommender.config)
 
     # ================================================== batched top-k search
     def _prefetch_topk(self, entries: Sequence[SessionEntry]) -> set:
@@ -607,7 +749,7 @@ class RecommendationEngine:
                 group["stale"] = recommender.stale_pool
         jobs = []  # (key, constraints, surviving, deficit)
         for key, group in groups.items():
-            if key in self.pool_cache:
+            if key in self.pool_repository:
                 continue
             surviving, deficit = self._maintenance_split(
                 group["constraints"], group["count"], group["stale"]
@@ -615,14 +757,16 @@ class RecommendationEngine:
             jobs.append((key, group["constraints"], surviving, deficit))
         if not jobs:
             return
-        pending = [job for job in jobs if job[3] > 0]
-        if pending and self.config.use_batch_sampler:
-            fresh = self.batch_sampler.sample_many(
-                [job[1] for job in pending], [job[3] for job in pending]
-            )
-        else:
-            fresh = [self._sample_fresh(job[1], job[3]) for job in pending]
-        fresh_by_key = {job[0]: pool for job, pool in zip(pending, fresh)}
+        # One repository fill batch for every pending deficit: jobs group per
+        # shard and (with a parallel backend) different shards fill at once.
+        # Per-key seeding makes the result identical to per-session fills.
+        fresh_by_key = self.pool_repository.fill_many(
+            [
+                PoolFillJob(key, constraints, deficit)
+                for key, constraints, _surviving, deficit in jobs
+                if deficit > 0
+            ]
+        )
         for key, _constraints, surviving, deficit in jobs:
             if surviving is not None:
                 self.pools_maintained += 1
@@ -634,30 +778,78 @@ class RecommendationEngine:
             else:
                 self.pools_sampled += 1
                 pool = fresh_by_key[key]
-            self.pool_cache.put(key, self._stamp_pool(pool))
+            self.pool_repository.put(key, self._stamp_pool(pool))
             self._freshly_prefetched.add(key)
 
     # ======================================================= snapshot / restore
-    def snapshot(self, session_id: str) -> dict:
+    def snapshot(self, session_id: str, embed_pool: bool = True) -> dict:
         """A JSON-serialisable snapshot of a session's full state.
 
-        Restoring the snapshot (in this or a fresh engine over the same
-        catalog and configuration) reproduces the session exactly: same
-        pending pool, same RNG stream, same next recommendation.
+        With ``embed_pool=True`` (default) the payload carries the full
+        sample pool and restoring it — in this or a fresh engine over the
+        same catalog and configuration — reproduces the session exactly:
+        same pending pool, same RNG stream, same next recommendation.
+
+        With ``embed_pool=False`` the payload references the pool by its
+        repository key only (snapshot compaction: thousands of sessions
+        sharing a pool persist it once).  The pool payload is written to the
+        configured store's pool table; on restore the pool is resolved from
+        the repository, then the store, and only re-sampled (deterministically
+        by key) when both miss.
         """
         entry = self._acquire(session_id)
-        return self._snapshot_entry(entry)
+        return self._snapshot_entry(entry, embed_pool=embed_pool)
 
-    def _snapshot_entry(self, entry: SessionEntry) -> dict:
+    def _swap_out_snapshot(self, entry: SessionEntry) -> dict:
+        """SessionManager's snapshot_fn: swap-outs use compact pool references."""
+        return self._snapshot_entry(entry, embed_pool=False)
+
+    def _pool_digest(self, pool: SamplePool) -> str:
+        """Content hash of a pool's samples and weights.
+
+        A fingerprint key does *not* uniquely identify pool content: a
+        maintained pool depends on its session's history, and an evicted key
+        re-fills to the fresh key-deterministic build.  Reference snapshots
+        therefore carry the digest too, so restore can tell whether whatever
+        currently sits under the key is the pool the snapshot captured.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(np.ascontiguousarray(pool.samples).tobytes())
+        digest.update(np.ascontiguousarray(pool.weights).tobytes())
+        return digest.hexdigest()
+
+    def _pool_store_key(self, key: str, digest: str) -> str:
+        """Pool-table key: fingerprint key plus content digest.
+
+        Content-addressing makes the store's skip-if-exists deduplication
+        sound — two different builds of one fingerprint get two entries,
+        while the thousands of sessions sharing one build still share one.
+        """
+        return f"{key}#{digest}"
+
+    def _snapshot_entry(self, entry: SessionEntry, embed_pool: bool = True) -> dict:
         recommender = entry.recommender
         # Materialise the pending pool first: after feedback the pool is
         # rebuilt lazily, and a snapshot without it could not reproduce the
         # next recommendation (the rebuild draws fresh randomness).  This
         # makes swap-out of a just-fed session pay one pool build inside the
-        # evicting request — the price of the exact round-trip guarantee
-        # (see ROADMAP "snapshot compaction" for the async alternative).
+        # evicting request — the price of the exact round-trip guarantee.
         pool = recommender.sample_pool()
         last_round = recommender.last_round
+        if embed_pool or entry.pool_key is None:
+            # Sessions outside the shared-pool world (sharing disabled, or a
+            # pool installed without a key) cannot be resolved by reference.
+            pool_payload = {
+                "key": entry.pool_key,
+                "samples": pool.samples.tolist(),
+                "weights": pool.weights.tolist(),
+            }
+        else:
+            pool_digest = self._pool_digest(pool)
+            self._persist_pool(
+                self._pool_store_key(entry.pool_key, pool_digest), pool
+            )
+            pool_payload = {"key": entry.pool_key, "digest": pool_digest}
         return {
             "version": SNAPSHOT_VERSION,
             "session_id": entry.session_id,
@@ -685,20 +877,31 @@ class RecommendationEngine:
                 else None
             ),
             "rng_state": recommender.rng.bit_generator.state,
-            "pool": {
-                "key": entry.pool_key,
-                "samples": pool.samples.tolist(),
-                "weights": pool.weights.tolist(),
-            },
+            "pool": pool_payload,
         }
+
+    def _persist_pool(self, store_key: str, pool: SamplePool) -> None:
+        """Write a pool payload to the store's pool table, once per content.
+
+        ``store_key`` is content-addressed (:meth:`_pool_store_key`), so the
+        existence probe — deliberately :meth:`SessionStore.has_pool`, not a
+        full load — makes repeat swap-outs of pool-sharing sessions free.
+        """
+        if self.store is None or self.store.has_pool(store_key):
+            return
+        self.store.save_pool(
+            store_key,
+            {"samples": pool.samples.tolist(), "weights": pool.weights.tolist()},
+        )
 
     def restore(self, payload: dict, replace_existing: bool = False) -> str:
         """Rebuild a session from a :meth:`snapshot` payload and register it."""
         version = payload.get("version")
-        if version != SNAPSHOT_VERSION:
+        if version not in SUPPORTED_SNAPSHOT_VERSIONS:
             raise ValueError(
                 f"unsupported snapshot version {version!r} "
-                f"(engine writes version {SNAPSHOT_VERSION})"
+                f"(engine reads versions {SUPPORTED_SNAPSHOT_VERSIONS} and "
+                f"writes version {SNAPSHOT_VERSION})"
             )
         session_id = payload["session_id"]
         if session_id in self.sessions:
@@ -741,37 +944,89 @@ class RecommendationEngine:
                 ],
             )
         recommender.rng.bit_generator.state = payload["rng_state"]
-        if payload["pool"] is not None:  # tolerate pool-less external payloads
+        self._restore_pool(entry, payload["pool"])
+        return entry
+
+    def _restore_pool(self, entry: SessionEntry, pool_payload: Optional[dict]) -> None:
+        """Re-attach a snapshot's pool: embedded, by reference, or deferred.
+
+        Resolution order for reference payloads: the in-memory repository —
+        *if* its pool's content digest matches the snapshot's (the same
+        fingerprint can hold a different build after eviction + refill, and
+        the session's saved RNG state only reproduces rounds against the
+        exact pool it was snapshotted with) — then the store's pool table
+        (content-addressed, written once per build), and finally nothing:
+        the session's provider re-samples on next use, deterministically by
+        key, which is exactly the "resampled only on repository miss"
+        contract snapshot compaction trades the embedded floats for.
+        """
+        if pool_payload is None:  # tolerate pool-less external payloads
+            return
+        recommender = entry.recommender
+        key = pool_payload.get("key")
+        entry.pool_key = key
+        if "samples" in pool_payload:  # embedded (v1, or v2 with embed_pool)
             pool = self._stamp_pool(
                 SamplePool(
-                    np.asarray(payload["pool"]["samples"], dtype=float),
-                    np.asarray(payload["pool"]["weights"], dtype=float),
+                    np.asarray(pool_payload["samples"], dtype=float),
+                    np.asarray(pool_payload["weights"], dtype=float),
                     {"sampler": "snapshot"},
                 )
             )
             recommender.set_pool(pool)
-            key = payload["pool"]["key"]
-            entry.pool_key = key
             if key is not None:
-                self.pool_cache.put(key, pool)
-        return entry
+                self.pool_repository.put(key, pool)
+            return
+        digest = pool_payload.get("digest")
+        pool = self.pool_repository.peek(key)
+        if (
+            pool is not None
+            and digest is not None
+            and self._pool_digest(pool) != digest
+        ):
+            pool = None  # same fingerprint, different build: not our pool
+        if pool is None and self.store is not None:
+            stored = None
+            if digest is not None:
+                stored = self.store.load_pool(self._pool_store_key(key, digest))
+            if stored is None:
+                stored = self.store.load_pool(key)  # digest-less payloads
+            if stored is not None:
+                pool = self._stamp_pool(
+                    SamplePool(
+                        np.asarray(stored["samples"], dtype=float),
+                        np.asarray(stored["weights"], dtype=float),
+                        {"sampler": "snapshot"},
+                    )
+                )
+                if key not in self.pool_repository:
+                    # Share it forward — but never clobber a different build
+                    # other live sessions are currently working against.
+                    self.pool_repository.put(key, pool)
+        if pool is not None:
+            recommender.set_pool(pool)
+        # else: leave the pool pending; the provider fills it lazily.
 
     # ================================================================== stats
     def stats(self) -> EngineStats:
         """Current serving counters (sessions, rounds, cache efficiency)."""
-        pool_stats = self.pool_cache.stats.as_dict()
-        pool_stats["samples_saved"] = self.pool_cache.samples_saved
+        pool_stats = self.pool_repository.stats.as_dict()
+        pool_stats["samples_saved"] = self.pool_repository.samples_saved
+        describe = getattr(self.pool_repository, "describe", None)
         return EngineStats(
             sessions_created=self.sessions_created,
             sessions_active=len(self.sessions),
             sessions_expired=self.sessions.sessions_expired,
             sessions_swapped_out=self.sessions.sessions_swapped_out,
             sessions_restored=self.sessions.sessions_restored,
+            swap_writes_skipped=self.sessions.swap_writes_skipped,
             rounds_served=self.rounds_served,
             feedback_events=self.feedback_events,
             pools_sampled=self.pools_sampled,
             pools_maintained=self.pools_maintained,
+            pools_warmed=self.pools_warmed,
             topk_batched_pools=self.topk_batched_pools,
             pool_cache=pool_stats,
+            pool_repository=describe() if describe is not None else {},
             topk_cache=self._topk_cache.stats.as_dict(),
         )

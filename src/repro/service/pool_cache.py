@@ -104,6 +104,14 @@ class LruCache:
             self.stats.evictions += 1
         self._entries[key] = value
 
+    def pop(self, key: Hashable) -> Optional[Any]:
+        """Remove and return the cached value, or ``None`` if absent.
+
+        Statistics are untouched: a pop is ownership transfer (e.g. a pool
+        shard moving an entry to its pinned set), not a lookup or an eviction.
+        """
+        return self._entries.pop(key, None)
+
     def clear(self) -> None:
         """Drop every entry (statistics are preserved)."""
         self._entries.clear()

@@ -1,0 +1,640 @@
+"""Fingerprint-partitioned pool storage: the serving stack's state layer.
+
+Before this module, pool state was a single in-process dict: one flat
+:class:`~repro.service.pool_cache.SamplePoolCache` owned by the engine, every
+snapshot embedding its full ``num_samples × m`` pool, and the hottest pools
+(empty prefix, common first clicks) rebuilt on every cold start.  This module
+makes fingerprint-keyed pool storage a first-class, partitioned layer — the
+same move log-structured cloud stores make when they partition state by key
+to scale writes, and multi-petabyte designs make when they pin hot
+partitions:
+
+* :class:`PoolRepository` — the interface every layer that touches pools goes
+  through: ``get`` / ``put`` / ``pin`` / ``evict`` / ``fill`` keyed by the
+  engine's pool keys (``n<count>:<ConstraintSet.fingerprint()>``).
+* :class:`ShardedPoolRepository` — consistent-hashes keys across N
+  :class:`PoolShard` partitions.  Each shard owns its pools, its LRU budget,
+  its pinned (eviction-exempt) set, and its sampler construction, so cache
+  fills for different shards are independent work items that a
+  :class:`ShardBackend` can run in parallel.
+* :class:`ShardBackend` — where shard work executes:
+  :class:`InlineShardBackend` (sequential, zero overhead, the default) or
+  :class:`ThreadShardBackend` (one pool of ``num_shards`` workers).  The
+  abstraction also admits a process backend — that requires the sampler
+  factory to be constructed shard-side rather than closed over, which is why
+  the factory is the only engine state a shard holds.
+* :class:`WarmStartPlanner` — precomputes and **pins** the always-hot pools
+  (the empty-prefix pool and the top-K first-click pools) at engine start, so
+  cold sessions never sample.
+
+**Determinism is the load-bearing design decision.**  A fill for key ``k``
+draws from a sampler seeded by ``k`` (the engine's factory derives the RNG
+from its own seed plus the key), never from a shared stream.  Pool contents
+therefore depend only on the key — not on which shard filled it, in what
+order, on how many shards exist, or whether fills ran threaded or inline —
+which is what makes 1-shard and 4-shard engines produce bit-identical
+recommendations (pinned by ``tests/test_pool_repository.py`` and
+``benchmarks/test_bench_sharding.py``) and makes a snapshot's pool
+re-derivable from its fingerprint reference alone when every cache misses.
+
+Consistent hashing (a 64-bit ring with virtual nodes) rather than modulo
+keeps the partition map stable under resizing: going from N to N+1 shards
+moves ~1/(N+1) of the keys instead of nearly all of them, so a warmed
+deployment can grow without refilling the world.
+"""
+
+from __future__ import annotations
+
+import abc
+import bisect
+import hashlib
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.sampling.base import ConstraintSet, SamplePool, Sampler
+from repro.service.pool_cache import CacheStats, SamplePoolCache
+
+__all__ = [
+    "PoolFillJob",
+    "PoolRepository",
+    "PoolShard",
+    "ShardBackend",
+    "InlineShardBackend",
+    "ThreadShardBackend",
+    "ShardedPoolRepository",
+    "WarmStartPlanner",
+    "WarmStartReport",
+    "build_shard_backend",
+]
+
+#: Engine-supplied sampler construction: ``factory(pool_key) -> Sampler``.
+#: The factory owns the determinism contract — it must derive the sampler's
+#: RNG from the key so a fill's output is independent of shard placement.
+SamplerFactory = Callable[[str], Sampler]
+
+#: Names accepted by :func:`build_shard_backend`.
+SHARD_BACKEND_NAMES = ("inline", "thread")
+
+
+def _hash64(text: str) -> int:
+    """A stable (process-independent) 64-bit hash used for the ring."""
+    return int.from_bytes(
+        hashlib.blake2b(text.encode(), digest_size=8).digest(), "big"
+    )
+
+
+@dataclass(frozen=True)
+class PoolFillJob:
+    """One pool build request: draw ``count`` samples valid under ``constraints``."""
+
+    key: str
+    constraints: ConstraintSet
+    count: int
+
+
+# ================================================================== backends
+class ShardBackend(abc.ABC):
+    """Execution strategy for per-shard work items."""
+
+    #: Human-readable backend name (reported in engine stats).
+    name: str = "base"
+
+    @abc.abstractmethod
+    def map(self, calls: Sequence[Callable[[], dict]]) -> List[dict]:
+        """Run every zero-argument call and return their results in order."""
+
+    def close(self) -> None:
+        """Release any execution resources (idempotent; default no-op)."""
+
+
+class InlineShardBackend(ShardBackend):
+    """Run shard work sequentially on the calling thread (the default).
+
+    Zero overhead and trivially deterministic — the right choice for
+    single-shard repositories, tests, and single-core hosts.
+    """
+
+    name = "inline"
+
+    def map(self, calls: Sequence[Callable[[], dict]]) -> List[dict]:
+        return [call() for call in calls]
+
+
+class ThreadShardBackend(ShardBackend):
+    """Run shard work on a shared thread pool (one worker per shard).
+
+    Fills for different shards proceed concurrently; every fill builds its
+    own sampler (own RNG), so no sampler state is shared across threads and
+    results are identical to the inline backend.  On a multi-core host the
+    numpy-heavy block draws overlap; with one core this still bounds tail
+    latency (no shard waits behind another's Python-level fallback loop) but
+    cannot beat inline wall-clock.
+    """
+
+    name = "thread"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError(f"max_workers must be > 0 or None, got {max_workers}")
+        self.max_workers = max_workers
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    def map(self, calls: Sequence[Callable[[], dict]]) -> List[dict]:
+        if len(calls) <= 1:  # nothing to overlap; skip the executor round-trip
+            return [call() for call in calls]
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.max_workers, thread_name_prefix="pool-shard"
+            )
+        return list(self._executor.map(lambda call: call(), calls))
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+
+def build_shard_backend(name: str, num_shards: int) -> ShardBackend:
+    """A backend instance from its configured name."""
+    if name == "inline":
+        return InlineShardBackend()
+    if name == "thread":
+        return ThreadShardBackend(max_workers=num_shards)
+    raise ValueError(
+        f"shard backend must be one of {SHARD_BACKEND_NAMES}, got {name!r}"
+    )
+
+
+# ================================================================= interface
+class PoolRepository(abc.ABC):
+    """Keyed storage *and* build service for shared sample pools.
+
+    Every layer of the serving stack that touches pools — the engine's
+    per-session provider, ``recommend_many``'s batched prefetch, snapshot
+    restore, the warm-start planner — goes through this interface, so pool
+    placement (one dict, N shards, N processes) is invisible above it.
+    """
+
+    @abc.abstractmethod
+    def get(self, key: str) -> Optional[SamplePool]:
+        """The pool for ``key`` (refreshing recency and hit statistics)."""
+
+    @abc.abstractmethod
+    def peek(self, key: str) -> Optional[SamplePool]:
+        """Like :meth:`get` but without touching hit/miss statistics."""
+
+    @abc.abstractmethod
+    def put(self, key: str, pool: SamplePool) -> None:
+        """Store (or refresh) a pool under ``key``."""
+
+    @abc.abstractmethod
+    def pin(self, key: str, pool: Optional[SamplePool] = None) -> None:
+        """Exempt ``key`` from eviction (inserting ``pool`` if given)."""
+
+    @abc.abstractmethod
+    def unpin(self, key: str) -> None:
+        """Return a pinned pool to ordinary LRU management."""
+
+    @abc.abstractmethod
+    def evict(self, key: str) -> bool:
+        """Drop a pool (pinned or not); returns whether one existed."""
+
+    @abc.abstractmethod
+    def record_miss(self, key: str) -> None:
+        """Count a miss against ``key``'s shard without a lookup."""
+
+    @abc.abstractmethod
+    def fill_one(self, key: str, constraints: ConstraintSet, count: int) -> SamplePool:
+        """Build one pool on its owning shard (inline; not stored)."""
+
+    @abc.abstractmethod
+    def fill_many(self, jobs: Sequence[PoolFillJob]) -> Dict[str, SamplePool]:
+        """Build many pools, grouped per shard and run via the backend.
+
+        Returns ``{job.key: pool}``; pools are *returned*, not stored — the
+        caller decides what to cache (the engine stamps builds first).
+        """
+
+    @abc.abstractmethod
+    def __contains__(self, key: str) -> bool: ...
+
+    @abc.abstractmethod
+    def __len__(self) -> int: ...
+
+    @property
+    @abc.abstractmethod
+    def stats(self) -> CacheStats:
+        """Aggregated hit/miss/eviction/put counters across the whole store."""
+
+    @property
+    @abc.abstractmethod
+    def samples_saved(self) -> int:
+        """Total sample draws avoided by serving pools from storage."""
+
+
+# ===================================================================== shards
+class PoolShard:
+    """One partition: an LRU pool cache, a pinned set, and fill execution.
+
+    The shard's ``sampler_factory`` is the only engine state it holds, which
+    keeps the shard self-contained: a future process backend would construct
+    the factory shard-side from a config instead of closing over the engine.
+    """
+
+    def __init__(self, index: int, capacity: int, sampler_factory: SamplerFactory) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.index = index
+        self.capacity = int(capacity)
+        self.cache = SamplePoolCache(capacity)
+        self.pinned: Dict[str, SamplePool] = {}
+        self.sampler_factory = sampler_factory
+        self.fills = 0
+        self.samples_filled = 0
+
+    # ---------------------------------------------------------------- storage
+    def get(self, key: str) -> Optional[SamplePool]:
+        pool = self.pinned.get(key)
+        if pool is not None:
+            # A pinned hit is a cache win like any other: count it (and the
+            # sampling it saved) in the shard's ordinary statistics.
+            self.cache.stats.hits += 1
+            self.cache.samples_saved += pool.size
+            return pool
+        return self.cache.get(key)
+
+    def peek(self, key: str) -> Optional[SamplePool]:
+        pool = self.pinned.get(key)
+        if pool is not None:
+            return pool
+        return self.cache.peek(key)
+
+    def put(self, key: str, pool: SamplePool) -> None:
+        if key in self.pinned:
+            self.pinned[key] = pool  # a rebuilt pool replaces the pinned copy
+            return
+        self.cache.put(key, pool)
+
+    def pin(self, key: str, pool: Optional[SamplePool] = None) -> None:
+        if self.capacity == 0:
+            return  # a disabled repository stores nothing, pinned or not
+        # Always lift any LRU copy out first: a key must live in exactly one
+        # of the two tables, or evict()/__len__ would see duplicates.
+        cached = self.cache.pop(key)
+        if pool is None:
+            pool = cached
+            if pool is None:
+                if key in self.pinned:
+                    return
+                raise KeyError(f"cannot pin unknown pool key {key!r}")
+        self.pinned[key] = pool
+
+    def unpin(self, key: str) -> None:
+        pool = self.pinned.pop(key, None)
+        if pool is not None:
+            self.cache.put(key, pool)
+
+    def evict(self, key: str) -> bool:
+        if self.pinned.pop(key, None) is not None:
+            return True
+        return self.cache.pop(key) is not None
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.pinned or key in self.cache
+
+    def __len__(self) -> int:
+        return len(self.pinned) + len(self.cache)
+
+    def keys(self) -> List[str]:
+        return list(self.pinned) + self.cache.keys()
+
+    # ------------------------------------------------------------------ fills
+    def fill(self, job: PoolFillJob) -> SamplePool:
+        """Build one pool with a sampler seeded for the job's key."""
+        sampler = self.sampler_factory(job.key)
+        pool = sampler.sample(job.count, job.constraints)
+        self.fills += 1
+        self.samples_filled += pool.size
+        return pool
+
+    def fill_jobs(self, jobs: Sequence[PoolFillJob]) -> Dict[str, SamplePool]:
+        """Run a batch of fills sequentially on this shard."""
+        return {job.key: self.fill(job) for job in jobs}
+
+
+# ================================================================ repository
+class ShardedPoolRepository(PoolRepository):
+    """Pools consistent-hashed across N shards with per-shard LRU budgets.
+
+    Parameters
+    ----------
+    sampler_factory:
+        ``factory(pool_key) -> Sampler``; must derive the sampler's RNG from
+        the key (see the module docstring's determinism contract).
+    num_shards:
+        Number of partitions.  One shard with the inline backend reproduces
+        the old single-cache behaviour exactly.
+    capacity:
+        *Total* LRU budget, split evenly across shards (each shard gets
+        ``ceil(capacity / num_shards)``); ``0`` disables storage entirely —
+        every ``get`` misses and ``put``/``pin`` are no-ops — which is how the
+        per-session baseline runs without branching at call sites.  Pinned
+        pools do not count against the LRU budget.
+    backend:
+        Where per-shard fill batches execute; default inline.
+    virtual_nodes:
+        Ring points per shard.  More points smooth the key distribution;
+        the default (64) keeps the worst shard within a few percent of fair.
+    """
+
+    def __init__(
+        self,
+        sampler_factory: SamplerFactory,
+        num_shards: int = 1,
+        capacity: int = 512,
+        backend: Optional[ShardBackend] = None,
+        virtual_nodes: int = 64,
+    ) -> None:
+        if num_shards <= 0:
+            raise ValueError(f"num_shards must be > 0, got {num_shards}")
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        if virtual_nodes <= 0:
+            raise ValueError(f"virtual_nodes must be > 0, got {virtual_nodes}")
+        self.capacity = int(capacity)
+        per_shard = -(-capacity // num_shards) if capacity else 0  # ceil div
+        self.shards = [
+            PoolShard(index, per_shard, sampler_factory)
+            for index in range(num_shards)
+        ]
+        self.backend = backend if backend is not None else InlineShardBackend()
+        ring = sorted(
+            (_hash64(f"shard-{index}#{replica}"), index)
+            for index in range(num_shards)
+            for replica in range(virtual_nodes)
+        )
+        self._ring_points = [point for point, _index in ring]
+        self._ring_shards = [index for _point, index in ring]
+        self.fill_batches = 0
+        self.multi_shard_fill_batches = 0
+
+    # ----------------------------------------------------------------- routing
+    def shard_for(self, key: str) -> PoolShard:
+        """The shard that owns ``key`` (first ring point at or after its hash)."""
+        if len(self.shards) == 1:
+            return self.shards[0]
+        position = bisect.bisect_right(self._ring_points, _hash64(key))
+        if position == len(self._ring_points):
+            position = 0  # wrap around the ring
+        return self.shards[self._ring_shards[position]]
+
+    # ----------------------------------------------------------------- storage
+    def get(self, key: str) -> Optional[SamplePool]:
+        return self.shard_for(key).get(key)
+
+    def peek(self, key: str) -> Optional[SamplePool]:
+        return self.shard_for(key).peek(key)
+
+    def put(self, key: str, pool: SamplePool) -> None:
+        self.shard_for(key).put(key, pool)
+
+    def pin(self, key: str, pool: Optional[SamplePool] = None) -> None:
+        self.shard_for(key).pin(key, pool)
+
+    def unpin(self, key: str) -> None:
+        self.shard_for(key).unpin(key)
+
+    def evict(self, key: str) -> bool:
+        return self.shard_for(key).evict(key)
+
+    def record_miss(self, key: str) -> None:
+        self.shard_for(key).cache.stats.misses += 1
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.shard_for(key)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    def keys(self) -> List[str]:
+        """Every stored key (pinned first, then LRU order, shard by shard)."""
+        return [key for shard in self.shards for key in shard.keys()]
+
+    def pinned_keys(self) -> List[str]:
+        """Keys currently exempt from eviction."""
+        return [key for shard in self.shards for key in shard.pinned]
+
+    # ------------------------------------------------------------------- fills
+    def fill_one(self, key: str, constraints: ConstraintSet, count: int) -> SamplePool:
+        return self.shard_for(key).fill(PoolFillJob(key, constraints, count))
+
+    def fill_many(self, jobs: Sequence[PoolFillJob]) -> Dict[str, SamplePool]:
+        jobs = list(jobs)
+        if not jobs:
+            return {}
+        by_shard: Dict[int, List[PoolFillJob]] = {}
+        for job in jobs:
+            by_shard.setdefault(self.shard_for(job.key).index, []).append(job)
+        self.fill_batches += 1
+        if len(by_shard) > 1:
+            self.multi_shard_fill_batches += 1
+        calls = [
+            # Bind per-iteration values as defaults: late-binding closures
+            # would all see the last shard.
+            lambda shard=self.shards[index], batch=batch: shard.fill_jobs(batch)
+            for index, batch in by_shard.items()
+        ]
+        results: Dict[str, SamplePool] = {}
+        for partial in self.backend.map(calls):
+            results.update(partial)
+        return results
+
+    # ------------------------------------------------------------------- stats
+    @property
+    def stats(self) -> CacheStats:
+        """Aggregated hit/miss/eviction/put counters across every shard."""
+        total = CacheStats()
+        for shard in self.shards:
+            stats = shard.cache.stats
+            total.hits += stats.hits
+            total.misses += stats.misses
+            total.evictions += stats.evictions
+            total.puts += stats.puts
+        return total
+
+    @property
+    def samples_saved(self) -> int:
+        """Total sample draws avoided by cache and pinned hits."""
+        return sum(shard.cache.samples_saved for shard in self.shards)
+
+    @property
+    def fills(self) -> int:
+        """Total pools built across every shard."""
+        return sum(shard.fills for shard in self.shards)
+
+    def describe(self) -> dict:
+        """Topology and per-shard load, for :meth:`EngineStats.as_dict`."""
+        return {
+            "num_shards": len(self.shards),
+            "backend": self.backend.name,
+            "capacity": self.capacity,
+            "pinned": len(self.pinned_keys()),
+            "fills": self.fills,
+            "fill_batches": self.fill_batches,
+            "multi_shard_fill_batches": self.multi_shard_fill_batches,
+            "per_shard": [
+                {
+                    "shard": shard.index,
+                    "entries": len(shard),
+                    "pinned": len(shard.pinned),
+                    "fills": shard.fills,
+                    "hits": shard.cache.stats.hits,
+                    "misses": shard.cache.stats.misses,
+                }
+                for shard in self.shards
+            ],
+        }
+
+    def close(self) -> None:
+        """Release the backend's execution resources."""
+        self.backend.close()
+
+
+# ================================================================ warm start
+@dataclass
+class WarmStartReport:
+    """What one warm-start pass precomputed.
+
+    ``first_clicks_skipped`` is True when the configuration presents private
+    exploration packages (``num_random > 0``): every real first click then
+    induces preferences against packages no planner can foresee, so the
+    first-click pools were not warmed (only the empty-prefix pool was).
+    """
+
+    warmed_keys: List[str]
+    pools_filled: int
+    first_click_sets: int
+    first_clicks_skipped: bool = False
+
+    def __len__(self) -> int:
+        return len(self.warmed_keys)
+
+
+class WarmStartPlanner:
+    """Precompute and pin the always-hot pools so cold sessions never sample.
+
+    Two pool families are always hot in elicitation traffic: the
+    *empty-prefix* pool (every new session's first round) and the pools one
+    click away from it (round two of every session that clicked a recommended
+    package).  The planner derives both from the engine's own machinery:
+
+    1. fill the empty-prefix pool and pin it;
+    2. compute its ranked top-k list exactly as a session would (same search
+       budget, same semantics) and park it in the engine's top-k cache — cold
+       sessions skip the search too;
+    3. for each of the top ``first_clicks`` recommended packages, derive the
+       constraint set that click induces
+       (:func:`~repro.core.elicitation.click_constraint_set` — identical to a
+       fresh session's feedback), fill all those pools in one
+       :meth:`~ShardedPoolRepository.fill_many` (grouped per shard, so a
+       parallel backend overlaps them), and pin them.
+
+    The first-click sets assume the presented list *is* the recommended list
+    (``num_random == 0``).  With ``num_random > 0`` every session presents
+    private exploration packages, so a real first click — even one on a
+    recommended package — induces ``clicked ≻ random_i`` preferences whose
+    fingerprint no planner can foresee; warming those pools would pin work
+    no session can ever hit.  The planner therefore warms only the
+    empty-prefix pool in that configuration and reports
+    ``first_clicks_skipped=True``.  Pinned pools are exempt from LRU
+    eviction and are shared through the repository like any other pool.
+    """
+
+    def __init__(self, engine, first_clicks: Optional[int] = None) -> None:
+        if first_clicks is not None and first_clicks < 0:
+            raise ValueError(f"first_clicks must be >= 0, got {first_clicks}")
+        self.engine = engine
+        self.first_clicks = (
+            first_clicks
+            if first_clicks is not None
+            else engine.config.elicitation.k
+        )
+
+    def warm(self) -> WarmStartReport:
+        """Fill and pin the hot pools; returns what was warmed."""
+        # Local import: the planner is engine-facing, and importing the
+        # recommender at module load would cycle service -> core -> service.
+        from repro.core.elicitation import PackageRecommender, click_constraint_set
+
+        engine = self.engine
+        repository: PoolRepository = engine.pool_repository
+        # A ShardedPoolRepository with capacity 0 is storage-disabled; custom
+        # repositories without a capacity attribute are assumed pinnable.
+        if getattr(repository, "capacity", None) == 0:
+            raise ValueError(
+                "warm start requires a pool cache (pool_cache_size > 0): "
+                "with storage disabled there is nowhere to pin the warm pools"
+            )
+        elicitation = engine.config.elicitation
+        count = elicitation.num_samples
+        # Exploration packages are per-session randomness: with num_random > 0
+        # no real first-click fingerprint can match an enumerated one, so
+        # filling those pools would pin dead weight (see the class docstring).
+        first_clicks = self.first_clicks if elicitation.num_random == 0 else 0
+        warmed: List[str] = []
+        filled = 0
+
+        empty = ConstraintSet.empty(engine.catalog.num_features)
+        empty_key = engine._pool_key(empty, count)
+        empty_pool = repository.peek(empty_key)
+        if empty_pool is None:
+            empty_pool = engine._stamp_pool(
+                repository.fill_one(empty_key, empty, count)
+            )
+            filled += 1
+        repository.pin(empty_key, empty_pool)
+        warmed.append(empty_key)
+
+        # The round-one "exploit" list every cold session will be served: a
+        # probe recommender with the engine's own elicitation config (and the
+        # warmed pool injected) computes exactly what any session would.
+        probe = PackageRecommender(
+            engine.catalog,
+            engine.profile,
+            config=elicitation,
+            prior=engine.prior,
+            predicates=engine.predicates,
+        )
+        probe.set_pool(empty_pool)
+        ranked = probe.current_top_k()
+        if engine.config.topk_cache_size > 0:
+            engine._topk_cache.put(
+                engine._topk_key_for(empty_key, empty_pool, elicitation),
+                tuple(ranked),
+            )
+
+        jobs: List[PoolFillJob] = []
+        for clicked in ranked[:first_clicks]:
+            constraints = click_constraint_set(engine.evaluator, clicked, ranked)
+            key = engine._pool_key(constraints, count)
+            if key in repository or any(job.key == key for job in jobs):
+                continue
+            jobs.append(PoolFillJob(key, constraints, count))
+        for job in jobs:
+            warmed.append(job.key)
+        if jobs:
+            pools = repository.fill_many(jobs)
+            for job in jobs:
+                repository.pin(job.key, engine._stamp_pool(pools[job.key]))
+            filled += len(jobs)
+
+        engine.pools_warmed += filled
+        return WarmStartReport(
+            warmed_keys=warmed,
+            pools_filled=filled,
+            first_click_sets=len(jobs),
+            first_clicks_skipped=(
+                self.first_clicks > 0 and elicitation.num_random > 0
+            ),
+        )

@@ -29,7 +29,13 @@ class SessionExpiredError(SessionNotFoundError):
 
 @dataclass
 class SessionEntry:
-    """One live session: the per-user recommender plus serving metadata."""
+    """One live session: the per-user recommender plus serving metadata.
+
+    ``dirty`` tracks whether the session's state has diverged from its last
+    stored snapshot: new sessions start dirty, serving a round or applying
+    feedback dirties an entry, and a restore (or a swap-out write) cleans it.
+    Swap-out skips the snapshot + store write for clean entries.
+    """
 
     session_id: str
     recommender: PackageRecommender
@@ -39,6 +45,7 @@ class SessionEntry:
     pool_key: Optional[str] = None
     rounds_served: int = 0
     feedback_events: int = 0
+    dirty: bool = True
 
 
 #: Engine-supplied (de)hydration callbacks.
@@ -92,6 +99,7 @@ class SessionManager:
         self.sessions_expired = 0
         self.sessions_swapped_out = 0
         self.sessions_restored = 0
+        self.swap_writes_skipped = 0
 
     # ------------------------------------------------------------------ basics
     def __len__(self) -> int:
@@ -170,9 +178,20 @@ class SessionManager:
                 return
             entry = self._active.pop(session_id)
             if self.store is not None:
-                payload = self.snapshot_fn(entry)
-                payload["_last_access"] = entry.last_access
-                self.store.save(session_id, payload)
+                if entry.dirty:
+                    payload = self.snapshot_fn(entry)
+                    payload["_last_access"] = entry.last_access
+                    self.store.save(session_id, payload)
+                    entry.dirty = False
+                else:
+                    # The entry is byte-for-byte what its last stored snapshot
+                    # restores to (it was restored and never served a round or
+                    # fed back since), so re-serialising it — which would also
+                    # re-materialise its pool — buys nothing.  The skipped
+                    # write leaves the *older* `_last_access` in the store, so
+                    # TTL expiry of a clean swap-out is conservative: it may
+                    # expire up to one idle period earlier, never later.
+                    self.swap_writes_skipped += 1
                 self.sessions_swapped_out += 1
             # Without a store the LRU session is simply dropped; its id will
             # raise SessionNotFoundError on the next request.
@@ -213,6 +232,7 @@ class SessionManager:
                     raise SessionExpiredError(session_id)
                 entry = self.restore_fn(payload)
                 entry.last_access = now
+                entry.dirty = False  # identical to the snapshot it came from
                 self.sessions_restored += 1
                 self._active[session_id] = entry
                 self._active.move_to_end(session_id)

@@ -31,7 +31,17 @@ def _utc_now_iso() -> str:
 
 
 class SessionStore(abc.ABC):
-    """Abstract keyed store of JSON-serialisable session snapshots."""
+    """Abstract keyed store of JSON-serialisable session snapshots.
+
+    Beyond per-session snapshots, every store carries a *pool table*: pool
+    payloads keyed by the engine's pool keys (``n<count>:<fingerprint>``).
+    Reference snapshots (snapshot compaction) point into it — a pool shared
+    by thousands of sessions is persisted once, not once per session.  Pool
+    payloads are content-addressed by their key and therefore never
+    overwritten; they outlive individual sessions by design (deleting a
+    session must not break the other sessions referencing its pool) and are
+    reclaimed explicitly via :meth:`delete_pool`.
+    """
 
     @abc.abstractmethod
     def save(self, session_id: str, payload: dict) -> None:
@@ -49,6 +59,57 @@ class SessionStore(abc.ABC):
     def list_ids(self) -> List[str]:
         """Ids of every stored snapshot (sorted)."""
 
+    # ------------------------------------------------------------- pool table
+    # The pool-table methods are concrete with an in-memory default, so a
+    # SessionStore subclass written against the original four-method
+    # interface keeps instantiating and swapping out.  The default is
+    # NON-DURABLE (pools referenced by compact snapshots are re-derivable
+    # or re-sampled after a restart — the documented miss path); durable
+    # backends override all four.
+
+    def _fallback_pools(self) -> Dict[str, dict]:
+        pools = getattr(self, "_memory_pool_table", None)
+        if pools is None:
+            pools = {}
+            self._memory_pool_table = pools
+        return pools
+
+    def save_pool(self, pool_key: str, payload: dict) -> None:
+        """Persist a shared pool payload under its repository key."""
+        self._fallback_pools()[pool_key] = json.loads(json.dumps(payload))
+
+    def load_pool(self, pool_key: str) -> Optional[dict]:
+        """The stored pool payload, or ``None`` when the key is unknown."""
+        payload = self._fallback_pools().get(pool_key)
+        return json.loads(json.dumps(payload)) if payload is not None else None
+
+    def has_pool(self, pool_key: str) -> bool:
+        """Whether a pool payload exists, without loading it.
+
+        Backends override this with a cheap existence probe (stat / SELECT 1)
+        — the engine calls it on every swap-out to deduplicate pool writes.
+        """
+        return self.load_pool(pool_key) is not None
+
+    def delete_pool(self, pool_key: str) -> bool:
+        """Remove a pool payload; returns whether one existed."""
+        return self._fallback_pools().pop(pool_key, None) is not None
+
+    def list_pool_keys(self) -> List[str]:
+        """Keys of every stored pool payload (sorted)."""
+        return sorted(self._fallback_pools())
+
+    # ------------------------------------------------------------ accounting
+    def total_bytes(self) -> int:
+        """Bytes held by the store (sessions + pools), for compaction metrics.
+
+        Optional: backends that can measure themselves override this; the
+        default raises, since the ABC has no view of session storage.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement total_bytes()"
+        )
+
     def __contains__(self, session_id: str) -> bool:
         return self.load(session_id) is not None
 
@@ -58,6 +119,7 @@ class MemorySessionStore(SessionStore):
 
     def __init__(self) -> None:
         self._payloads: Dict[str, dict] = {}
+        self._pools: Dict[str, dict] = {}
 
     def save(self, session_id: str, payload: dict) -> None:
         self._payloads[session_id] = json.loads(json.dumps(payload))
@@ -72,12 +134,41 @@ class MemorySessionStore(SessionStore):
     def list_ids(self) -> List[str]:
         return sorted(self._payloads)
 
+    def save_pool(self, pool_key: str, payload: dict) -> None:
+        self._pools[pool_key] = json.loads(json.dumps(payload))
+
+    def load_pool(self, pool_key: str) -> Optional[dict]:
+        payload = self._pools.get(pool_key)
+        return json.loads(json.dumps(payload)) if payload is not None else None
+
+    def has_pool(self, pool_key: str) -> bool:
+        return pool_key in self._pools
+
+    def delete_pool(self, pool_key: str) -> bool:
+        return self._pools.pop(pool_key, None) is not None
+
+    def list_pool_keys(self) -> List[str]:
+        return sorted(self._pools)
+
+    def total_bytes(self) -> int:
+        return sum(
+            len(json.dumps(payload).encode("utf-8"))
+            for table in (self._payloads, self._pools)
+            for payload in table.values()
+        )
+
 
 class JsonSessionStore(SessionStore):
-    """One JSON file per session under a directory."""
+    """One JSON file per session under a directory.
+
+    Shared pool payloads live in a ``pools/`` subdirectory, one file per
+    pool key (the subdirectory never collides with session files because
+    session ids are stored flat with a ``.json`` suffix).
+    """
 
     def __init__(self, directory: str) -> None:
         self.directory = directory
+        self.pools_directory = os.path.join(directory, "pools")
         os.makedirs(directory, exist_ok=True)
 
     def _path(self, session_id: str) -> str:
@@ -85,12 +176,21 @@ class JsonSessionStore(SessionStore):
         # session ids ("a/b" vs "a_b") can never overwrite each other's files.
         return os.path.join(self.directory, f"{quote(session_id, safe='')}.json")
 
-    def save(self, session_id: str, payload: dict) -> None:
-        path = self._path(session_id)
+    def _pool_path(self, pool_key: str) -> str:
+        return os.path.join(self.pools_directory, f"{quote(pool_key, safe='')}.json")
+
+    @staticmethod
+    def _write_atomic(path: str, document: dict) -> None:
         tmp = path + ".tmp"
         with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump({"saved_at": _utc_now_iso(), "payload": payload}, handle)
+            json.dump(document, handle)
         os.replace(tmp, path)  # atomic on POSIX: readers never see partial JSON
+
+    def save(self, session_id: str, payload: dict) -> None:
+        self._write_atomic(
+            self._path(session_id),
+            {"saved_at": _utc_now_iso(), "payload": payload},
+        )
 
     def load(self, session_id: str) -> Optional[dict]:
         path = self._path(session_id)
@@ -113,6 +213,49 @@ class JsonSessionStore(SessionStore):
             if name.endswith(".json")
         )
 
+    def save_pool(self, pool_key: str, payload: dict) -> None:
+        os.makedirs(self.pools_directory, exist_ok=True)
+        self._write_atomic(
+            self._pool_path(pool_key),
+            {"saved_at": _utc_now_iso(), "payload": payload},
+        )
+
+    def load_pool(self, pool_key: str) -> Optional[dict]:
+        path = self._pool_path(pool_key)
+        if not os.path.exists(path):
+            return None
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)["payload"]
+
+    def has_pool(self, pool_key: str) -> bool:
+        return os.path.exists(self._pool_path(pool_key))
+
+    def delete_pool(self, pool_key: str) -> bool:
+        path = self._pool_path(pool_key)
+        if not os.path.exists(path):
+            return False
+        os.remove(path)
+        return True
+
+    def list_pool_keys(self) -> List[str]:
+        if not os.path.isdir(self.pools_directory):
+            return []
+        return sorted(
+            unquote(name[: -len(".json")])
+            for name in os.listdir(self.pools_directory)
+            if name.endswith(".json")
+        )
+
+    def total_bytes(self) -> int:
+        total = 0
+        for directory in (self.directory, self.pools_directory):
+            if not os.path.isdir(directory):
+                continue
+            for name in os.listdir(directory):
+                if name.endswith(".json"):
+                    total += os.path.getsize(os.path.join(directory, name))
+        return total
+
 
 class SqliteSessionStore(SessionStore):
     """SQLite-backed store in WAL mode.
@@ -124,6 +267,11 @@ class SqliteSessionStore(SessionStore):
             created_at TEXT NOT NULL,   -- ISO-8601 UTC
             updated_at TEXT NOT NULL,   -- ISO-8601 UTC
             payload    TEXT NOT NULL    -- JSON snapshot
+        )
+        pools(
+            pool_key   TEXT PRIMARY KEY,
+            created_at TEXT NOT NULL,   -- ISO-8601 UTC
+            payload    TEXT NOT NULL    -- JSON pool (samples + weights)
         )
     """
 
@@ -146,6 +294,15 @@ class SqliteSessionStore(SessionStore):
                 session_id TEXT PRIMARY KEY,
                 created_at TEXT NOT NULL,
                 updated_at TEXT NOT NULL,
+                payload    TEXT NOT NULL
+            )
+            """
+        )
+        self._connection.execute(
+            """
+            CREATE TABLE IF NOT EXISTS pools (
+                pool_key   TEXT PRIMARY KEY,
+                created_at TEXT NOT NULL,
                 payload    TEXT NOT NULL
             )
             """
@@ -183,6 +340,54 @@ class SqliteSessionStore(SessionStore):
             "SELECT session_id FROM sessions ORDER BY session_id"
         ).fetchall()
         return [row[0] for row in rows]
+
+    def save_pool(self, pool_key: str, payload: dict) -> None:
+        # The engine's pool-table keys are content-addressed
+        # (fingerprint#digest), so an existing row is already the same
+        # content and conflicts are ignored, not replaced.
+        self._connection.execute(
+            """
+            INSERT INTO pools (pool_key, created_at, payload)
+            VALUES (?, ?, ?)
+            ON CONFLICT(pool_key) DO NOTHING
+            """,
+            (pool_key, _utc_now_iso(), json.dumps(payload)),
+        )
+        self._connection.commit()
+
+    def load_pool(self, pool_key: str) -> Optional[dict]:
+        row = self._connection.execute(
+            "SELECT payload FROM pools WHERE pool_key = ?", (pool_key,)
+        ).fetchone()
+        return json.loads(row[0]) if row is not None else None
+
+    def has_pool(self, pool_key: str) -> bool:
+        row = self._connection.execute(
+            "SELECT 1 FROM pools WHERE pool_key = ?", (pool_key,)
+        ).fetchone()
+        return row is not None
+
+    def delete_pool(self, pool_key: str) -> bool:
+        cursor = self._connection.execute(
+            "DELETE FROM pools WHERE pool_key = ?", (pool_key,)
+        )
+        self._connection.commit()
+        return cursor.rowcount > 0
+
+    def list_pool_keys(self) -> List[str]:
+        rows = self._connection.execute(
+            "SELECT pool_key FROM pools ORDER BY pool_key"
+        ).fetchall()
+        return [row[0] for row in rows]
+
+    def total_bytes(self) -> int:
+        (session_bytes,) = self._connection.execute(
+            "SELECT COALESCE(SUM(LENGTH(payload)), 0) FROM sessions"
+        ).fetchone()
+        (pool_bytes,) = self._connection.execute(
+            "SELECT COALESCE(SUM(LENGTH(payload)), 0) FROM pools"
+        ).fetchone()
+        return int(session_bytes) + int(pool_bytes)
 
     def close(self) -> None:
         """Close the underlying connection."""

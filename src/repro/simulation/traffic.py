@@ -144,8 +144,19 @@ class LoadReport:
             f"  topk cache: hits={topk.get('hits', 0)} misses={topk.get('misses', 0)} "
             f"hit_rate={topk.get('hit_rate', 0.0):.2f}",
             f"  pools sampled={self.engine_stats.get('pools_sampled', 0)} "
-            f"maintained={self.engine_stats.get('pools_maintained', 0)}",
+            f"maintained={self.engine_stats.get('pools_maintained', 0)} "
+            f"warmed={self.engine_stats.get('pools_warmed', 0)}",
         ]
+        repository = self.engine_stats.get("pool_repository") or {}
+        if repository:
+            lines.append(
+                f"  pool repository: shards={repository.get('num_shards', 1)} "
+                f"({repository.get('backend', 'inline')}) "
+                f"fills={repository.get('fills', 0)} "
+                f"multi_shard_fill_batches="
+                f"{repository.get('multi_shard_fill_batches', 0)} "
+                f"pinned={repository.get('pinned', 0)}"
+            )
         return "\n".join(lines)
 
 
@@ -314,6 +325,13 @@ class AsyncLoadReport:
             f"pools sampled={self.engine_stats.get('pools_sampled', 0)} "
             f"maintained={self.engine_stats.get('pools_maintained', 0)}",
         ]
+        repository = self.engine_stats.get("pool_repository") or {}
+        if repository.get("num_shards", 1) > 1:
+            lines.append(
+                f"  pool repository: shards={repository.get('num_shards')} "
+                f"({repository.get('backend', 'inline')}) "
+                f"fills={repository.get('fills', 0)}"
+            )
         return "\n".join(lines)
 
 

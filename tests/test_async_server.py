@@ -20,6 +20,7 @@ from repro.core.profiles import AggregateProfile
 from repro.service import (
     AsyncRecommendationServer,
     DispatcherClosedError,
+    DispatcherOverloadedError,
     EngineConfig,
     MicroBatchDispatcher,
     RecommendationEngine,
@@ -216,6 +217,87 @@ class TestDispatchWindow:
             MicroBatchDispatcher(StubEngine(), max_batch_size=0)
         with pytest.raises(ValueError):
             MicroBatchDispatcher(StubEngine(), max_wait=-1.0)
+        with pytest.raises(ValueError):
+            MicroBatchDispatcher(StubEngine(), max_pending=0)
+
+
+# ============================================================= backpressure
+class TestBackpressure:
+    def test_requests_beyond_max_pending_are_shed(self):
+        """The cap rejects at admission; admitted requests still serve."""
+
+        async def main():
+            engine = StubEngine()
+            dispatcher = MicroBatchDispatcher(
+                engine, max_batch_size=16, max_wait=0.01, max_pending=3
+            )
+            results = await asyncio.gather(
+                *(dispatcher.submit(f"s{i}") for i in range(5)),
+                return_exceptions=True,
+            )
+            await dispatcher.drain()
+            return engine, dispatcher, results
+
+        engine, dispatcher, results = asyncio.run(main())
+        shed = [r for r in results if isinstance(r, DispatcherOverloadedError)]
+        served = [r for r in results if isinstance(r, str)]
+        assert len(shed) == 2 and len(served) == 3
+        assert dispatcher.stats.requests_shed == 2
+        # Shed requests never touched the engine.
+        assert engine.batch_calls == [["s0", "s1", "s2"]]
+        assert dispatcher.stats.requests_submitted == 3
+
+    def test_window_reopens_after_a_flush(self):
+        """Shedding is transient: capacity returns once the window flushes."""
+
+        async def main():
+            engine = StubEngine()
+            dispatcher = MicroBatchDispatcher(
+                engine, max_batch_size=16, max_wait=0.005, max_pending=2
+            )
+            first = await asyncio.gather(
+                *(dispatcher.submit(f"a{i}") for i in range(3)),
+                return_exceptions=True,
+            )
+            second = await dispatcher.submit("b0")  # fresh window: admitted
+            return first, second
+
+        first, second = asyncio.run(main())
+        assert sum(isinstance(r, DispatcherOverloadedError) for r in first) == 1
+        assert second == "round:b0"
+
+    def test_no_cap_never_sheds(self):
+        async def main():
+            dispatcher = MicroBatchDispatcher(
+                StubEngine(), max_batch_size=64, max_wait=0.005
+            )
+            return await asyncio.gather(
+                *(dispatcher.submit(f"s{i}") for i in range(32))
+            )
+
+        results = asyncio.run(main())
+        assert len(results) == 32
+
+    def test_server_forwards_max_pending(self, serving_catalog, serving_profile):
+        async def main():
+            engine = make_engine(serving_catalog, serving_profile)
+            async with AsyncRecommendationServer(
+                engine, max_batch_size=16, max_wait=0.01, max_pending=2
+            ) as server:
+                ids = [await server.create_session(seed=i) for i in range(4)]
+                results = await asyncio.gather(
+                    *(server.recommend(sid) for sid in ids),
+                    return_exceptions=True,
+                )
+            return server, results
+
+        server, results = asyncio.run(main())
+        shed = [
+            r for r in results if isinstance(r, DispatcherOverloadedError)
+        ]
+        assert len(shed) == 2
+        assert server.dispatcher.stats.requests_shed == 2
+        assert server.stats()["dispatcher"]["requests_shed"] == 2
 
 
 # ============================================================== async server

@@ -559,6 +559,31 @@ class TestSessionStores:
         assert not store.delete("x")
         assert store.load("x") is None
 
+    @pytest.mark.parametrize("backend", ["memory", "json", "sqlite"])
+    def test_pool_table_round_trip(self, backend, tmp_path):
+        store = {
+            "memory": lambda: MemorySessionStore(),
+            "json": lambda: JsonSessionStore(str(tmp_path / "j")),
+            "sqlite": lambda: SqliteSessionStore(str(tmp_path / "s.sqlite")),
+        }[backend]()
+        payload = {"samples": [[0.1, 0.2]], "weights": [1.0]}
+        assert store.load_pool("n40:abc") is None
+        store.save_pool("n40:abc", payload)
+        assert store.load_pool("n40:abc") == payload
+        assert store.list_pool_keys() == ["n40:abc"]
+        # Pool payloads live in their own namespace, apart from sessions.
+        assert store.list_ids() == []
+        assert store.total_bytes() > 0
+        assert store.delete_pool("n40:abc")
+        assert not store.delete_pool("n40:abc")
+
+    def test_total_bytes_counts_sessions_and_pools(self, tmp_path):
+        store = JsonSessionStore(str(tmp_path / "j"))
+        store.save("s", {"n": 1})
+        sessions_only = store.total_bytes()
+        store.save_pool("k", {"samples": [[0.0] * 8] * 8, "weights": [1.0] * 8})
+        assert store.total_bytes() > sessions_only
+
     def test_sqlite_uses_wal_mode(self, tmp_path):
         store = SqliteSessionStore(str(tmp_path / "wal.sqlite"))
         mode = store._connection.execute("PRAGMA journal_mode").fetchone()[0]
@@ -735,3 +760,227 @@ class TestReviewRegressions:
         engine.recommend(session_id)
         pool = engine.sessions.acquire(session_id).recommender.sample_pool()
         assert pool.stats["sampler"] == "RS"
+
+
+# ====================================== snapshot compaction + engine restarts
+class TestSnapshotCompaction:
+    """Reference (pool-less) snapshots resolved against the pool repository."""
+
+    def _run_shared_sessions(self, engine, num_sessions=4):
+        ids = [engine.create_session(seed=7) for _ in range(num_sessions)]
+        engine.recommend_many(ids)
+        for sid in ids:
+            engine.feedback(sid, 0)
+        engine.recommend_many(ids)
+        return ids
+
+    def _sharded_engine(self, catalog, profile, store, **overrides):
+        return make_engine(
+            catalog, profile, store=store, pool_shards=4, **overrides
+        )
+
+    def test_reference_snapshot_omits_the_pool_payload(
+        self, serving_catalog, serving_profile
+    ):
+        store = MemorySessionStore()
+        engine = self._sharded_engine(serving_catalog, serving_profile, store)
+        (sid,) = self._run_shared_sessions(engine, num_sessions=1)
+        compact = engine.snapshot(sid, embed_pool=False)
+        embedded = engine.snapshot(sid)
+        assert "samples" not in compact["pool"]
+        assert compact["pool"]["key"] == embedded["pool"]["key"]
+        # The pool payload went to the store's pool table, exactly once,
+        # under a content-addressed key (fingerprint key + digest).
+        expected_store_key = (
+            f"{compact['pool']['key']}#{compact['pool']['digest']}"
+        )
+        assert store.list_pool_keys() == [expected_store_key]
+        assert len(json.dumps(compact)) < len(json.dumps(embedded))
+
+    def test_sessions_sharing_a_pool_persist_it_once(
+        self, serving_catalog, serving_profile
+    ):
+        store = MemorySessionStore()
+        engine = self._sharded_engine(serving_catalog, serving_profile, store)
+        ids = self._run_shared_sessions(engine)
+        for sid in ids:
+            store.save(sid, engine.snapshot(sid, embed_pool=False))
+        assert len(store.list_pool_keys()) == 1  # identical prefixes: one pool
+        embedded_bytes = sum(
+            len(json.dumps(engine.snapshot(sid))) for sid in ids
+        )
+        assert store.total_bytes() < embedded_bytes
+
+    def test_restart_resolves_pools_by_fingerprint_without_resampling(
+        self, serving_catalog, serving_profile
+    ):
+        """Persist with a ShardedPoolRepository, restart the engine, restore:
+        pools come back by fingerprint from the store's pool table."""
+        store = MemorySessionStore()
+        engine = self._sharded_engine(serving_catalog, serving_profile, store)
+        ids = self._run_shared_sessions(engine)
+        for sid in ids:
+            store.save(sid, engine.snapshot(sid, embed_pool=False))
+        expected = [presented_items(engine.recommend(sid)) for sid in ids]
+
+        restarted = self._sharded_engine(serving_catalog, serving_profile, store)
+        got = [presented_items(restarted.recommend(sid)) for sid in ids]
+        assert got == expected
+        stats = restarted.stats()
+        assert stats.sessions_restored == len(ids)
+        assert stats.pools_sampled == 0  # resolved, never resampled
+        assert stats.pools_maintained == 0
+
+    def test_missing_pool_payload_resamples_by_key(
+        self, serving_catalog, serving_profile
+    ):
+        """Resolution falls back to a deterministic refill only when both the
+        repository and the store's pool table miss."""
+        store = MemorySessionStore()
+        engine = self._sharded_engine(serving_catalog, serving_profile, store)
+        ids = self._run_shared_sessions(engine)
+        for sid in ids:
+            store.save(sid, engine.snapshot(sid, embed_pool=False))
+        for key in store.list_pool_keys():
+            store.delete_pool(key)
+
+        restarted = self._sharded_engine(serving_catalog, serving_profile, store)
+        rounds = [restarted.recommend(sid) for sid in ids]
+        assert all(round_.recommended for round_ in rounds)
+        stats = restarted.stats()
+        # One shared fingerprint: resampled once by the first restore's
+        # provider; the later restores resolve it from the repository.
+        assert stats.pools_sampled == 1
+        assert stats.pool_repository["fills"] == 1
+
+    def test_swap_out_uses_reference_snapshots(
+        self, serving_catalog, serving_profile, tmp_path
+    ):
+        store = JsonSessionStore(str(tmp_path / "sessions"))
+        engine = self._sharded_engine(
+            serving_catalog, serving_profile, store, max_active_sessions=1
+        )
+        a = engine.create_session(seed=5)
+        engine.recommend(a)
+        engine.create_session(seed=6)  # evicts a
+        payload = store.load(a)
+        assert "samples" not in payload["pool"]
+        assert any(
+            key.startswith(payload["pool"]["key"])
+            for key in store.list_pool_keys()
+        )
+
+    def test_restore_rejects_a_different_build_under_the_same_fingerprint(
+        self, serving_catalog, serving_profile
+    ):
+        """Review regression: a maintained pool's fingerprint can later hold
+        a different (fresh-filled) build; restore must detect the digest
+        mismatch and come back from the store's exact payload, not continue
+        the session's saved RNG state against the wrong pool."""
+        store = MemorySessionStore()
+        engine = self._sharded_engine(serving_catalog, serving_profile, store)
+        sid = engine.create_session(seed=7)
+        engine.recommend(sid)
+        engine.feedback(sid, 0)
+        engine.recommend(sid)  # maintained pool: content depends on history
+        store.save(sid, engine.snapshot(sid, embed_pool=False))
+        expected = presented_items(engine.recommend(sid))
+
+        restarted = self._sharded_engine(serving_catalog, serving_profile, store)
+        payload = store.load(sid)
+        key = payload["pool"]["key"]
+        # Simulate eviction + key-deterministic refill before the restore:
+        # the repository now holds a *different* build under the same key.
+        count = int(key.split(":")[0][1:])
+        entry = engine.sessions.acquire(sid)
+        constraints = entry.recommender.constraints
+        fresh = restarted._stamp_pool(
+            restarted.pool_repository.fill_one(key, constraints, count)
+        )
+        restarted.pool_repository.put(key, fresh)
+        assert restarted._pool_digest(fresh) != payload["pool"]["digest"]
+
+        assert presented_items(restarted.recommend(sid)) == expected
+        # The mismatched repository build was left in place for its sharers.
+        assert restarted.pool_repository.peek(key) is fresh
+
+    def test_legacy_v1_snapshot_restores(self, serving_catalog, serving_profile):
+        engine = make_engine(serving_catalog, serving_profile)
+        sid = engine.create_session(seed=9)
+        engine.recommend(sid)
+        snapshot = engine.snapshot(sid)
+        snapshot["version"] = 1  # exactly the v1 shape: embedded pool
+        fresh = make_engine(serving_catalog, serving_profile)
+        fresh.restore(snapshot)
+        assert presented_items(engine.recommend(sid)) == presented_items(
+            fresh.recommend(sid)
+        )
+
+
+# ===================================================== dirty-flag swap-outs
+class CountingStore(MemorySessionStore):
+    """A store that counts snapshot writes (the satellite's regression probe)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.saves = 0
+
+    def save(self, session_id, payload):
+        self.saves += 1
+        super().save(session_id, payload)
+
+
+class TestDirtySwapOut:
+    def test_unchanged_sessions_skip_the_store_write(
+        self, serving_catalog, serving_profile
+    ):
+        """LRU swap-out must not re-serialise a session that has not served a
+        round or received feedback since it was restored."""
+        store = CountingStore()
+        engine = make_engine(
+            serving_catalog, serving_profile, store=store, max_active_sessions=1
+        )
+        a = engine.create_session(seed=5)
+        engine.recommend(a)
+        engine.feedback(a, 0)
+        engine.create_session(seed=6)  # evicts dirty a -> write 1
+        assert store.saves == 1
+        engine.snapshot(a)  # restores a (clean) and evicts the other session
+        saves_after_restore = store.saves
+        engine.create_session(seed=7)  # evicts clean a -> write skipped
+        assert store.saves == saves_after_restore
+        assert engine.stats().swap_writes_skipped == 1
+
+    def test_served_rounds_dirty_the_entry_again(
+        self, serving_catalog, serving_profile
+    ):
+        store = CountingStore()
+        engine = make_engine(
+            serving_catalog, serving_profile, store=store, max_active_sessions=1
+        )
+        a = engine.create_session(seed=5)
+        engine.recommend(a)
+        engine.create_session(seed=6)  # write 1 (a dirty)
+        engine.recommend(a)  # restore + serve: dirty again (evicts the other)
+        before = store.saves
+        engine.create_session(seed=7)  # evicts a: must write
+        assert store.saves == before + 1
+        assert engine.stats().swap_writes_skipped == 0
+
+    def test_skipped_write_still_restores_correctly(
+        self, serving_catalog, serving_profile
+    ):
+        store = CountingStore()
+        engine = make_engine(
+            serving_catalog, serving_profile, store=store, max_active_sessions=1
+        )
+        a = engine.create_session(seed=5)
+        engine.recommend(a)
+        engine.feedback(a, 0)
+        engine.create_session(seed=6)  # write (dirty)
+        expected = engine.snapshot(a)  # restore a, clean
+        engine.create_session(seed=7)  # skip write for clean a
+        ra = engine.recommend(a)  # restore again from the original write
+        fresh = make_engine(serving_catalog, serving_profile)
+        fresh.restore(expected)
+        assert presented_items(ra) == presented_items(fresh.recommend(a))

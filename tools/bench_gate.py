@@ -1,9 +1,9 @@
 #!/usr/bin/env python
 """CI performance gate: validate the benchmark metrics in ``BENCH_ci.json``.
 
-The gated benchmark modules (service, batch top-k, async front-end) each
-assert a speedup floor *and* record the measured number via
-``bench_utils.record_ci_metric``.  This script is the second, independent
+The gated benchmark modules (service, batch top-k, async front-end, sharded
+pool service) each assert their headline floor *and* record the measured
+number via ``bench_utils.record_ci_metric``.  This script is the second, independent
 half of the ``bench-gate`` CI job: after the benchmarks have run it checks
 
 1. every **required** metric is present (a silently skipped benchmark cannot
@@ -41,6 +41,14 @@ PINNED_FLOORS = {
     "service_shared_vs_per_session_speedup": 2.0,
     "topk_batch_vs_sequential_speedup": 5.0,
     "async_vs_serial_throughput_speedup": 3.0,
+    # Sharded pool service (PR 4): 4 thread-backed shards must serve rounds
+    # bit-identical to the unsharded engine (the indicator is the metric)...
+    "sharding_equivalence": 1.0,
+    # ...and fingerprint-reference snapshots must shrink the session store by
+    # at least 5x on the 50-session pool-sharing workload.  The per-shard
+    # parallel fill timing is recorded unpinned (single-core CI runners
+    # cannot overlap threads, so a wall-clock floor would be noise).
+    "snapshot_compaction_ratio": 5.0,
 }
 
 EXPECTED_SCHEMA_VERSION = 1
