@@ -17,7 +17,8 @@ The public API re-exports the pieces most users need:
 * the online serving engine: :class:`RecommendationEngine`,
   :class:`EngineConfig`, :class:`TrafficSimulator`, and its
   fingerprint-partitioned pool state layer :class:`ShardedPoolRepository`
-  with :class:`WarmStartPlanner`;
+  with :class:`WarmStartPlanner` and the approximate pool-reuse subsystem
+  :class:`PoolAdapter` (:class:`AdaptationConfig`);
 * the async front-end: :class:`AsyncRecommendationServer`,
   :class:`MicroBatchDispatcher`, :class:`AsyncTrafficSimulator`.
 
@@ -64,7 +65,13 @@ from repro.simulation.traffic import (
     WorkloadSpec,
 )
 from repro.sampling.batch import BatchRejectionSampler
+from repro.sampling.reweight import importance_reweight, residual_resample
 from repro.service import (
+    AdaptationConfig,
+    AdaptationStats,
+    ConstraintSimilarityIndex,
+    PoolAdapter,
+    PoolUnavailableError,
     AsyncRecommendationServer,
     DispatcherClosedError,
     DispatcherOverloadedError,
@@ -132,6 +139,13 @@ __all__ = [
     "DispatcherClosedError",
     "DispatcherOverloadedError",
     "BatchRejectionSampler",
+    "importance_reweight",
+    "residual_resample",
+    "AdaptationConfig",
+    "AdaptationStats",
+    "ConstraintSimilarityIndex",
+    "PoolAdapter",
+    "PoolUnavailableError",
     "RecommendationEngine",
     "EngineConfig",
     "EngineStats",

@@ -20,6 +20,13 @@ from repro.sampling.ens import (
     chi_square_distance,
 )
 from repro.sampling.constraints import ConstraintChecker
+from repro.sampling.reweight import (
+    downweight_violators,
+    importance_reweight,
+    pool_effective_sample_size,
+    residual_resample,
+    violation_weight_factors,
+)
 from repro.sampling.maintenance import (
     HybridMaintenance,
     MaintenanceResult,
@@ -42,6 +49,11 @@ __all__ = [
     "ens_from_weights",
     "chi_square_distance",
     "ConstraintChecker",
+    "downweight_violators",
+    "importance_reweight",
+    "pool_effective_sample_size",
+    "residual_resample",
+    "violation_weight_factors",
     "SampleMaintainer",
     "NaiveMaintenance",
     "ThresholdMaintenance",

@@ -16,7 +16,14 @@ problem over the pool, and the paper evaluates three strategies (Figure 7):
   of the current list once ``C_processed + C_remain ≥ (1 + γ)·|S|``.
 
 :class:`SampleMaintainer` wires a strategy together with a sampler so the
-violators can also be *replaced* under the updated constraint set.
+violators can also be *replaced* under the updated constraint set.  Under the
+§7 noise model the maintainer additionally supports **soft maintenance**
+(:meth:`SampleMaintainer.soft_apply_feedback`): instead of dropping the
+violators, their importance weights are scaled by ``1 − ψ`` — the incremental
+form of noise-model importance reweighting
+(:func:`~repro.sampling.reweight.downweight_violators`) — so the pool keeps
+its size without any resampling and downstream weighted top-k scoring
+accounts for the discounted samples.
 """
 
 from __future__ import annotations
@@ -28,7 +35,11 @@ from typing import List, Optional, Set
 import numpy as np
 
 from repro.sampling.base import ConstraintSet, SamplePool, Sampler
-from repro.utils.validation import require_matrix, require_vector
+from repro.utils.validation import (
+    require_matrix,
+    require_probability,
+    require_vector,
+)
 
 
 @dataclass
@@ -276,3 +287,31 @@ class SampleMaintainer:
             )
         replacement = self.sampler.sample(result.num_violations, updated_constraints)
         return surviving.concatenate(replacement), result
+
+    def soft_apply_feedback(
+        self, pool: SamplePool, direction: np.ndarray, psi: float
+    ) -> tuple:
+        """Weighted (§7) maintenance: downweight the violators instead of dropping.
+
+        The configured strategy still *locates* the violating samples (so the
+        Figure-7 access accounting applies unchanged), but each violator's
+        importance weight is multiplied by ``1 − ψ`` — the probability the new
+        preference was itself noise — rather than being replaced or removed.
+        The pool keeps its size, no sampler is invoked, and at ψ = 1 the
+        result carries the same surviving mass as hard maintenance (violators
+        get weight 0 instead of disappearing).  Returns
+        ``(new_pool, maintenance_result)``.
+        """
+        require_probability(psi, "psi")
+        direction = require_vector(direction, "direction", length=pool.num_features)
+        result = self.strategy.find_violations(pool.samples, direction)
+        if result.num_violations == 0:
+            return pool, result
+        # Scale exactly the indices the strategy located (recomputing the
+        # violation mask would throw away the TA/hybrid access savings).
+        weights = pool.weights.copy()
+        weights[result.violating_indices] *= 1.0 - psi
+        return (
+            SamplePool(pool.samples.copy(), weights, dict(pool.stats)),
+            result,
+        )

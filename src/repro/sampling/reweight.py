@@ -1,0 +1,147 @@
+"""Noise-model importance reweighting of sample pools (§7 applied to reuse).
+
+A pool sampled under constraint set ``C_donor`` is a valid *proposal* for the
+posterior under a different constraint set ``C_target`` once the §7 noise
+model is in force: each feedback preference is independently correct only
+with probability ψ, so the target's soft posterior keeps mass on samples that
+violate some target constraints — a sample violating ``x`` of them retains
+the factor ``(1 − ψ)^x`` (the probability that every violated preference was
+itself noise).  Instead of resampling from scratch, the donor pool can be
+**importance-reweighted**:
+
+``q'_i = q_i · (1 − ψ)^{x_i}``   where ``x_i = |{d ∈ C_target : w_i · d < 0}|``
+
+Two degenerate cases anchor the scheme:
+
+* ψ = 1 and ``C_target = C_donor``: every donor sample is valid, every factor
+  is ``(1 − 1)^0 = 1`` — reweighting is byte-identical reuse;
+* ψ = 1 and ``C_target ⊃ C_donor``: violators get weight 0 — reweighting
+  reduces to the §3.4 maintenance survival rule (without the top-up).
+
+The quality of the adapted pool is measured by its Kish effective sample size
+(:func:`~repro.sampling.ens.ens_from_weights`); the serving layer's
+:class:`~repro.service.adaptation.PoolAdapter` only serves adapted pools
+whose ESS clears a configured floor.
+
+This module is pure sampling math — no serving-layer state.  It also provides
+*deterministic residual resampling* (to hand weight-agnostic consumers a
+uniform pool) and the incremental *soft maintenance* rule (downweight the
+violators of one new preference instead of dropping them).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sampling.base import ConstraintSet, SamplePool
+from repro.sampling.ens import ens_from_weights
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import require_probability, require_vector
+
+__all__ = [
+    "violation_weight_factors",
+    "importance_reweight",
+    "downweight_violators",
+    "residual_resample",
+    "pool_effective_sample_size",
+]
+
+
+def violation_weight_factors(
+    samples: np.ndarray, constraints: ConstraintSet, psi: float
+) -> np.ndarray:
+    """Per-row noise-model likelihood factors ``(1 − ψ)^x`` under ``constraints``.
+
+    ``x`` is the number of constraints each row violates.  At ψ = 1 the
+    factors are the hard validity indicator (``0^0 = 1`` for valid rows);
+    at ψ = 0 feedback carries no information and every factor is 1.
+    """
+    require_probability(psi, "psi")
+    counts = constraints.violation_counts(samples)
+    return np.power(1.0 - psi, counts)
+
+
+def importance_reweight(
+    pool: SamplePool, target_constraints: ConstraintSet, psi: float
+) -> SamplePool:
+    """Reweight a donor pool toward the posterior of ``target_constraints``.
+
+    Returns a new pool with the same samples and ``weights × (1 − ψ)^x``
+    where ``x`` counts each sample's violated target constraints.  The input
+    pool is never mutated (donor pools stay live in the repository).
+    """
+    factors = violation_weight_factors(pool.samples, target_constraints, psi)
+    return SamplePool(
+        pool.samples.copy(), pool.weights * factors, dict(pool.stats)
+    )
+
+
+def downweight_violators(
+    pool: SamplePool, direction: np.ndarray, psi: float
+) -> SamplePool:
+    """Soft §3.4 maintenance: scale violators of one new preference by ``1 − ψ``.
+
+    The incremental form of :func:`importance_reweight` — applying it once
+    per arriving preference direction multiplies each sample's weight by
+    ``(1 − ψ)^x`` overall, without ever dropping (or resampling) a row.
+    """
+    require_probability(psi, "psi")
+    direction = require_vector(direction, "direction", length=pool.num_features)
+    violating = pool.samples @ direction < 0.0
+    weights = pool.weights.copy()
+    weights[violating] *= 1.0 - psi
+    return SamplePool(pool.samples.copy(), weights, dict(pool.stats))
+
+
+def residual_resample(
+    pool: SamplePool, count: int, rng: RngLike = None
+) -> SamplePool:
+    """Draw an unweighted pool of ``count`` samples by residual resampling.
+
+    Each sample is first replicated ``floor(count · p_i)`` times (the
+    deterministic part — low-variance, order-preserving), then the remaining
+    slots are drawn from the normalised residuals.  With a seeded ``rng`` the
+    result is fully deterministic, which is what lets the serving layer derive
+    the resampling stream from the pool key (same determinism discipline as
+    repository fills).
+    """
+    if pool.size == 0:
+        raise ValueError("cannot resample an empty pool")
+    if count <= 0:
+        raise ValueError(f"count must be > 0, got {count}")
+    probabilities = pool.normalised_weights()
+    expected = count * probabilities
+    copies = np.floor(expected).astype(int)
+    remainder = count - int(copies.sum())
+    if remainder > 0:
+        residual = expected - copies
+        total = residual.sum()
+        if total <= 0:  # count·p_i all integral: spread uniformly
+            residual = np.full(pool.size, 1.0 / pool.size)
+        else:
+            residual = residual / total
+        extra = ensure_rng(rng).choice(
+            pool.size, size=remainder, replace=True, p=residual
+        )
+        np.add.at(copies, extra, 1)
+    indices = np.repeat(np.arange(pool.size), copies)
+    stats = dict(pool.stats)
+    stats["residual_resampled_from"] = pool.size
+    return SamplePool.unweighted(pool.samples[indices], stats)
+
+
+def pool_effective_sample_size(pool_or_weights) -> float:
+    """Kish ESS of a pool (or raw weight array); 0.0 when all weights vanish.
+
+    Unlike :meth:`SamplePool.effective_sample_size` — which treats an all-zero
+    pool as uniform, consistent with :meth:`SamplePool.normalised_weights` —
+    this returns 0.0 for vanished weights, which is the conservative reading
+    an acceptance gate needs (an all-zero adapted pool carries no information
+    about the target posterior).
+    """
+    weights = (
+        pool_or_weights.weights
+        if isinstance(pool_or_weights, SamplePool)
+        else pool_or_weights
+    )
+    return ens_from_weights(weights)

@@ -22,6 +22,13 @@ identical therefore share one pool and one top-k result, keyed by a canonical
   shard count never changes what is served.
 * :class:`WarmStartPlanner` — precomputes and pins the empty-prefix pool and
   the top-K first-click pools at engine start so cold sessions never sample.
+* :class:`PoolAdapter` + :class:`ConstraintSimilarityIndex` (approximate pool
+  reuse) — on a repository miss, find live donor pools whose constraint sets
+  are near the target (prefix / one-click-apart / high-overlap),
+  importance-reweight them with the §7 noise-model likelihood ratio, and
+  serve the adapted pool when its effective sample size clears a configured
+  floor — trading a full sampling run for one matrix pass
+  (``EngineConfig(pool_adaptation=AdaptationConfig(...))``).
 * :class:`SessionManager` — bounded active-session table with TTL expiry and
   LRU eviction; evicted sessions are transparently swapped out to a
   :class:`SessionStore` (JSON files or SQLite in WAL mode) and restored on
@@ -39,6 +46,14 @@ identical therefore share one pool and one top-k result, keyed by a canonical
   benchmarks.
 """
 
+from repro.core.noise import NoiseModel
+from repro.service.adaptation import (
+    AdaptationConfig,
+    AdaptationStats,
+    ConstraintSimilarityIndex,
+    DonorCandidate,
+    PoolAdapter,
+)
 from repro.service.async_server import AsyncRecommendationServer
 from repro.service.dispatcher import (
     DispatcherClosedError,
@@ -69,12 +84,20 @@ from repro.service.session_manager import SessionEntry, SessionManager
 from repro.service.engine import (
     EngineConfig,
     EngineStats,
+    PoolUnavailableError,
     RecommendationEngine,
     SessionExpiredError,
     SessionNotFoundError,
 )
 
 __all__ = [
+    "AdaptationConfig",
+    "AdaptationStats",
+    "ConstraintSimilarityIndex",
+    "DonorCandidate",
+    "NoiseModel",
+    "PoolAdapter",
+    "PoolUnavailableError",
     "AsyncRecommendationServer",
     "DispatcherClosedError",
     "DispatcherOverloadedError",

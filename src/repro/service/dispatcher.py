@@ -26,7 +26,12 @@ Backpressure: ``max_pending`` caps how many requests the current window may
 hold; a submission beyond it fails fast with
 :class:`DispatcherOverloadedError` (counted as ``requests_shed``) instead of
 growing the queue, so overload surfaces at admission where a client can back
-off, not as unbounded latency.
+off, not as unbounded latency.  With ``shed_mode="degrade"`` an overload
+request is first offered a *degraded* serve — the engine's
+``recommend_cached`` path, which answers from already-materialised pools
+only and refuses to fill — so sessions whose state is hot still get a round
+under overload (counted as ``requests_degraded``); only cache-missing
+requests are shed.
 
 Graceful shutdown: :meth:`aclose` refuses new submissions, then drains —
 every request already admitted to the window is dispatched and resolved
@@ -39,12 +44,18 @@ import asyncio
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro.service.engine import PoolUnavailableError
+
 __all__ = [
     "DispatcherClosedError",
     "DispatcherOverloadedError",
     "DispatcherStats",
     "MicroBatchDispatcher",
+    "SHED_MODES",
 ]
+
+#: Overload behaviours accepted by :class:`MicroBatchDispatcher`.
+SHED_MODES = ("reject", "degrade")
 
 
 class DispatcherClosedError(RuntimeError):
@@ -70,6 +81,7 @@ class DispatcherStats:
     requests_failed: int = 0
     requests_cancelled: int = 0
     requests_shed: int = 0
+    requests_degraded: int = 0
     batches_dispatched: int = 0
     size_flushes: int = 0
     timer_flushes: int = 0
@@ -92,6 +104,7 @@ class DispatcherStats:
             "requests_failed": self.requests_failed,
             "requests_cancelled": self.requests_cancelled,
             "requests_shed": self.requests_shed,
+            "requests_degraded": self.requests_degraded,
             "batches_dispatched": self.batches_dispatched,
             "size_flushes": self.size_flushes,
             "timer_flushes": self.timer_flushes,
@@ -127,6 +140,16 @@ class MicroBatchDispatcher:
         flush otherwise empties the window first — and it is the safety
         valve that keeps admission bounded if dispatch ever becomes
         asynchronous (an executor, a process pool).
+    shed_mode:
+        What happens to a request that hits the ``max_pending`` cap:
+        ``"reject"`` (default) raises :class:`DispatcherOverloadedError`
+        immediately; ``"degrade"`` first tries the engine's
+        ``recommend_cached`` path — serve from the exact-match caches only,
+        with pool fills refused — and only rejects when that too cannot
+        answer (no cached pool, or an engine without the degraded surface).
+        Degraded serves bypass the window entirely (they are the pressure
+        *relief*, not more pressure) and are counted as
+        ``DispatcherStats.requests_degraded``.
     """
 
     def __init__(
@@ -135,6 +158,7 @@ class MicroBatchDispatcher:
         max_batch_size: int = 16,
         max_wait: float = 0.002,
         max_pending: Optional[int] = None,
+        shed_mode: str = "reject",
     ) -> None:
         if max_batch_size <= 0:
             raise ValueError(f"max_batch_size must be > 0, got {max_batch_size}")
@@ -144,10 +168,15 @@ class MicroBatchDispatcher:
             raise ValueError(
                 f"max_pending must be > 0 or None, got {max_pending}"
             )
+        if shed_mode not in SHED_MODES:
+            raise ValueError(
+                f"shed_mode must be one of {SHED_MODES}, got {shed_mode!r}"
+            )
         self.engine = engine
         self.max_batch_size = int(max_batch_size)
         self.max_wait = float(max_wait)
         self.max_pending = int(max_pending) if max_pending is not None else None
+        self.shed_mode = shed_mode
         self.stats = DispatcherStats()
         self._pending: List[Tuple[str, asyncio.Future]] = []
         self._timer: Optional[asyncio.TimerHandle] = None
@@ -167,6 +196,10 @@ class MicroBatchDispatcher:
             self.max_pending is not None
             and len(self._pending) >= self.max_pending
         ):
+            if self.shed_mode == "degrade":
+                degraded = self._serve_degraded(session_id)
+                if degraded is not None:
+                    return degraded
             self.stats.requests_shed += 1
             raise DispatcherOverloadedError(
                 f"dispatcher window is full ({self.max_pending} pending "
@@ -181,6 +214,25 @@ class MicroBatchDispatcher:
         elif self._timer is None:
             self._timer = loop.call_later(self.max_wait, self._flush, "timer")
         return await future
+
+    def _serve_degraded(self, session_id: str):
+        """Try the cache-only serve for an overload request; ``None`` to shed.
+
+        Runs synchronously on the event loop — a degraded serve touches
+        cached pools only, so it costs one top-k aggregation at most.  Any
+        engine error other than "the pool is not cached" (unknown session,
+        expired session) propagates to the caller as its own failure rather
+        than masquerading as overload.
+        """
+        recommend_cached = getattr(self.engine, "recommend_cached", None)
+        if recommend_cached is None:
+            return None
+        try:
+            round_ = recommend_cached(session_id)
+        except PoolUnavailableError:
+            return None
+        self.stats.requests_degraded += 1
+        return round_
 
     @property
     def pending_requests(self) -> int:

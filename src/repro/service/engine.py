@@ -69,6 +69,11 @@ from repro.sampling.gaussian_mixture import GaussianMixture
 from repro.sampling.importance import ImportanceSampler
 from repro.sampling.mcmc import MetropolisHastingsSampler
 from repro.sampling.rejection import RejectionSampler
+from repro.service.adaptation import (
+    AdaptationConfig,
+    ConstraintSimilarityIndex,
+    PoolAdapter,
+)
 from repro.service.pool_cache import LruCache
 from repro.service.pool_repository import (
     PoolFillJob,
@@ -92,10 +97,22 @@ from repro.utils.rng import ensure_rng
 __all__ = [
     "EngineConfig",
     "EngineStats",
+    "PoolUnavailableError",
     "RecommendationEngine",
     "SessionNotFoundError",
     "SessionExpiredError",
 ]
+
+
+class PoolUnavailableError(RuntimeError):
+    """Serving this round would require a pool fill (degraded mode refuses).
+
+    Raised by :meth:`RecommendationEngine.recommend_cached` when the
+    session's pool is neither materialised nor resolvable from the pool
+    repository by exact fingerprint match — the only paths that avoid
+    sampling.  The micro-batch dispatcher's ``shed_mode="degrade"`` catches
+    it and sheds the request instead.
+    """
 
 #: Snapshot schema version written by :meth:`RecommendationEngine.snapshot`.
 #: Version 2 added pool-by-reference payloads (``pool: {"key": ...}`` without
@@ -143,6 +160,19 @@ class EngineConfig:
         On a pool-cache miss after feedback, keep the still-valid samples of
         the session's previous pool and only top up the deficit (§3.4) rather
         than resampling the full pool.
+    pool_adaptation:
+        When not ``None``, enable approximate pool reuse: on a pool-repository
+        miss a :class:`~repro.service.adaptation.PoolAdapter` looks for live
+        donor pools whose constraint sets are near the target (prefix /
+        one-click-apart / high-overlap, via a similarity index over the keys
+        this engine has derived), importance-reweights the nearest donors with
+        the §7 noise-model likelihood ratio (weight ``∝ (1 − ψ)^x`` for ``x``
+        violated target preferences) and serves the best adapted pool when its
+        effective sample size clears ``min_ess_fraction × num_samples`` —
+        skipping the sampling entirely.  Requires ``pool_cache_size > 0``
+        (donors live in the repository).  Adapted pools are marked in their
+        ``stats`` and carry distinct content digests; they are never mistaken
+        for exact key-deterministic builds.
     batch_search_across_sessions:
         In :meth:`RecommendationEngine.recommend_many`, answer the top-k
         queries of *all* top-k-cache-missing sessions in one concatenated
@@ -172,6 +202,7 @@ class EngineConfig:
     batch_block_size: int = 2_048
     batch_max_blocks: int = 64
     maintain_on_miss: bool = True
+    pool_adaptation: Optional[AdaptationConfig] = None
     batch_search_across_sessions: bool = True
     warm_start_first_clicks: Optional[int] = None
     seed: Optional[int] = 0
@@ -203,6 +234,11 @@ class EngineConfig:
                 "warm_start_first_clicks requires pool_cache_size > 0 "
                 "(warm pools are pinned in the pool repository)"
             )
+        if self.pool_adaptation is not None and self.pool_cache_size == 0:
+            raise ValueError(
+                "pool_adaptation requires pool_cache_size > 0 "
+                "(donor pools are found among live repository keys)"
+            )
 
     @property
     def sharing_enabled(self) -> bool:
@@ -228,11 +264,13 @@ class EngineStats:
     feedback_events: int
     pools_sampled: int
     pools_maintained: int
+    pools_adapted: int
     pools_warmed: int
     topk_batched_pools: int
     pool_cache: dict
     pool_repository: dict
     topk_cache: dict
+    adaptation: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         return {
@@ -246,11 +284,13 @@ class EngineStats:
             "feedback_events": self.feedback_events,
             "pools_sampled": self.pools_sampled,
             "pools_maintained": self.pools_maintained,
+            "pools_adapted": self.pools_adapted,
             "pools_warmed": self.pools_warmed,
             "topk_batched_pools": self.topk_batched_pools,
             "pool_cache": dict(self.pool_cache),
             "pool_repository": dict(self.pool_repository),
             "topk_cache": dict(self.topk_cache),
+            "adaptation": dict(self.adaptation),
         }
 
 
@@ -322,6 +362,20 @@ class RecommendationEngine:
                     self.config.pool_shard_backend, self.config.pool_shards
                 ),
             )
+        # Approximate pool reuse (optional): the adapter serves repository
+        # misses from reweighted near-miss donor pools; the similarity index
+        # it consults is fed by _pool_key, the single choke point every layer
+        # derives keys through.
+        self.pool_adapter: Optional[PoolAdapter] = None
+        if self.config.pool_adaptation is not None:
+            self.pool_adapter = PoolAdapter(
+                self.pool_repository,
+                ConstraintSimilarityIndex(
+                    capacity=self.config.pool_adaptation.index_capacity
+                ),
+                self.config.pool_adaptation,
+                seed_root=self._fill_seed_root,
+            )
         self._topk_cache = LruCache(self.config.topk_cache_size)
         # Engine-level batch searcher for across-session search batching:
         # same construction as every session's own searcher (identical
@@ -353,6 +407,7 @@ class RecommendationEngine:
         self.feedback_events = 0
         self.pools_sampled = 0
         self.pools_maintained = 0
+        self.pools_adapted = 0
         self.pools_warmed = 0
         self.topk_batched_pools = 0
         if self.config.warm_start_first_clicks is not None:
@@ -439,7 +494,13 @@ class RecommendationEngine:
 
     # ============================================================ pool sourcing
     def _pool_key(self, constraints: ConstraintSet, count: int) -> str:
-        return f"n{count}:{constraints.fingerprint()}"
+        key = f"n{count}:{constraints.fingerprint()}"
+        if self.pool_adapter is not None:
+            # Every key the engine ever derives is registered, so the
+            # similarity index can decode live repository keys back to
+            # constraint structure when hunting donors.
+            self.pool_adapter.index.register(key, constraints, count)
+        return key
 
     def _fill_sampler(self, key: str) -> Sampler:
         """A fill sampler whose RNG derives from the engine seed and the key.
@@ -518,6 +579,9 @@ class RecommendationEngine:
         count: int,
         stale: Optional[SamplePool],
     ) -> SamplePool:
+        adapted = self._adapt_pool(key, constraints, count)
+        if adapted is not None:
+            return adapted
         surviving, deficit = self._maintenance_split(constraints, count, stale)
         if surviving is not None:
             self.pools_maintained += 1
@@ -528,6 +592,24 @@ class RecommendationEngine:
             )
         self.pools_sampled += 1
         return self.pool_repository.fill_one(key, constraints, count)
+
+    def _adapt_pool(
+        self, key: str, constraints: ConstraintSet, count: int
+    ) -> Optional[SamplePool]:
+        """Approximate pool reuse: reweight a near-miss donor instead of filling.
+
+        Tried *before* §3.4 maintenance: where maintenance still samples the
+        deficit, a successfully adapted pool skips sampling entirely (the
+        ESS gate decides whether that trade is statistically safe).  Returns
+        ``None`` when adaptation is disabled, no donor qualifies, or every
+        candidate's effective sample size falls below the configured floor.
+        """
+        if self.pool_adapter is None:
+            return None
+        pool = self.pool_adapter.adapt(key, constraints, count)
+        if pool is not None:
+            self.pools_adapted += 1
+        return pool
 
     def _maintenance_split(
         self,
@@ -629,6 +711,34 @@ class RecommendationEngine:
         entry.dirty = True
         self.rounds_served += 1
         return round_
+
+    def recommend_cached(self, session_id: str) -> RecommendationRound:
+        """Serve one round from already-materialised state only (no pool fill).
+
+        The degraded-mode serving path: if the session's pool is pending and
+        its exact fingerprint key is not live in the pool repository — i.e.
+        serving would trigger a sampling fill — raise
+        :class:`PoolUnavailableError` instead of paying for it.  Top-k search
+        over an available pool still runs (it is the ordinary serve cost);
+        only *sampling* is refused.
+        """
+        entry = self._acquire(session_id)
+        recommender = entry.recommender
+        if recommender.pending_pool is None:
+            if not self.config.sharing_enabled or self.config.pool_cache_size == 0:
+                raise PoolUnavailableError(
+                    f"session {session_id!r} has no materialised pool and no "
+                    f"shared repository to resolve one from"
+                )
+            key = self._pool_key(
+                recommender.constraints, recommender.config.num_samples
+            )
+            if key not in self.pool_repository:
+                raise PoolUnavailableError(
+                    f"pool {key!r} for session {session_id!r} is not cached; "
+                    f"serving it would require a fill"
+                )
+        return self._serve_round(entry)
 
     def feedback(
         self, session_id: str, clicked: Union[int, Package]
@@ -750,6 +860,11 @@ class RecommendationEngine:
         jobs = []  # (key, constraints, surviving, deficit)
         for key, group in groups.items():
             if key in self.pool_repository:
+                continue
+            adapted = self._adapt_pool(key, group["constraints"], group["count"])
+            if adapted is not None:
+                self.pool_repository.put(key, self._stamp_pool(adapted))
+                self._freshly_prefetched.add(key)
                 continue
             surviving, deficit = self._maintenance_split(
                 group["constraints"], group["count"], group["stale"]
@@ -1024,9 +1139,15 @@ class RecommendationEngine:
             feedback_events=self.feedback_events,
             pools_sampled=self.pools_sampled,
             pools_maintained=self.pools_maintained,
+            pools_adapted=self.pools_adapted,
             pools_warmed=self.pools_warmed,
             topk_batched_pools=self.topk_batched_pools,
             pool_cache=pool_stats,
             pool_repository=describe() if describe is not None else {},
             topk_cache=self._topk_cache.stats.as_dict(),
+            adaptation=(
+                self.pool_adapter.stats.as_dict()
+                if self.pool_adapter is not None
+                else {}
+            ),
         )

@@ -22,7 +22,7 @@ import json
 import os
 import sqlite3
 from datetime import datetime, timezone
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 from urllib.parse import quote, unquote
 
 
@@ -40,7 +40,8 @@ class SessionStore(abc.ABC):
     payloads are content-addressed by their key and therefore never
     overwritten; they outlive individual sessions by design (deleting a
     session must not break the other sessions referencing its pool) and are
-    reclaimed explicitly via :meth:`delete_pool`.
+    reclaimed explicitly via :meth:`delete_pool`, or in bulk by the
+    :meth:`gc_pools` mark-and-sweep.
     """
 
     @abc.abstractmethod
@@ -98,6 +99,49 @@ class SessionStore(abc.ABC):
     def list_pool_keys(self) -> List[str]:
         """Keys of every stored pool payload (sorted)."""
         return sorted(self._fallback_pools())
+
+    # --------------------------------------------------- pool-table collection
+    @staticmethod
+    def pool_ref_of(payload: Optional[dict]) -> Optional[str]:
+        """The content-addressed pool-table key a snapshot payload references.
+
+        Reference snapshots (``embed_pool=False``) carry ``{"key", "digest"}``
+        and point at the pool-table entry ``key#digest``; embedded snapshots
+        carry their samples inline and reference nothing.  Returns ``None``
+        for embedded, pool-less, or malformed payloads.
+        """
+        pool = (payload or {}).get("pool") or {}
+        key, digest = pool.get("key"), pool.get("digest")
+        if key is None or digest is None or "samples" in pool:
+            return None
+        return f"{key}#{digest}"
+
+    def gc_pools(self, live_refs: Optional[Iterable[str]] = None) -> int:
+        """Mark-and-sweep the pool table; returns ``pools_collected``.
+
+        Pool payloads are content-addressed and never overwritten, so a
+        long-lived store accumulates entries whose referencing snapshots are
+        gone.  ``live_refs`` is the mark set — the ``key#digest`` references
+        that must survive; when ``None`` it is derived from the store's own
+        snapshots (every stored session is loaded and its pool reference
+        collected).  Everything in the pool table outside the mark set is
+        deleted.
+
+        Callers with pools referenced from *outside* the store (live engine
+        sessions that have not swapped out yet) must pass those references
+        explicitly — the default mark only sees stored snapshots.
+        """
+        if live_refs is None:
+            live_refs = (
+                self.pool_ref_of(self.load(session_id))
+                for session_id in self.list_ids()
+            )
+        live = {ref for ref in live_refs if ref is not None}
+        pools_collected = 0
+        for pool_key in self.list_pool_keys():
+            if pool_key not in live and self.delete_pool(pool_key):
+                pools_collected += 1
+        return pools_collected
 
     # ------------------------------------------------------------ accounting
     def total_bytes(self) -> int:

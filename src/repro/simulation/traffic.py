@@ -33,6 +33,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.core.noise import NoiseModel
 from repro.core.packages import PackageEvaluator
 from repro.core.utility import sample_random_utility
 from repro.service.async_server import AsyncRecommendationServer
@@ -46,17 +47,28 @@ def build_user_population(
     num_sessions: int,
     identical_prefix: bool,
     user_seed: int,
+    noise_psi: Optional[float] = None,
 ) -> List[SimulatedUser]:
-    """The simulated users of one workload (shared by both simulators)."""
+    """The simulated users of one workload (shared by both simulators).
+
+    ``noise_psi`` attaches a §7 :class:`~repro.core.noise.NoiseModel` to every
+    user: each click goes to the truly best presented package only with
+    probability ψ.  On the identical-prefix population this is the *noisy-user
+    workload*: sessions start on the shared prefix but a wrong click forks a
+    session onto a one-click-apart constraint set — a pool-repository miss
+    whose nearest donor is the popular sibling pool, exactly the traffic the
+    approximate pool-reuse subsystem exists for.
+    """
+    noise = NoiseModel(noise_psi) if noise_psi is not None else None
     rng = ensure_rng(user_seed)
     if identical_prefix:
         utility = sample_random_utility(evaluator.num_features, rng)
         return [
-            SimulatedUser(utility, evaluator, rng=user_seed)
-            for _ in range(num_sessions)
+            SimulatedUser(utility, evaluator, noise=noise, rng=user_seed + index)
+            for index in range(num_sessions)
         ]
     return [
-        SimulatedUser.random(evaluator, rng=child)
+        SimulatedUser.random(evaluator, rng=child, noise=noise)
         for child in np.random.default_rng(user_seed).spawn(num_sessions)
     ]
 
@@ -94,6 +106,14 @@ class WorkloadSpec:
     batched:
         Serve rounds via :meth:`RecommendationEngine.recommend_many` (pool
         filling batched across sessions) instead of per-session calls.
+    noise_psi:
+        Optional §7 click-noise parameter ψ for the simulated users: each
+        click lands on the truly best presented package only with
+        probability ψ.  With ``identical_prefix=True`` this turns the
+        cache-best-case population into the *noisy-user workload* — most
+        sessions ride the shared prefix, while noisy clicks fork sessions
+        onto near-miss constraint sets (the approximate-pool-reuse traffic).
+        ``None`` (default) keeps clicks noise-free.
     """
 
     num_sessions: int = 50
@@ -102,12 +122,15 @@ class WorkloadSpec:
     user_seed: int = 0
     session_seed: int = 0
     batched: bool = True
+    noise_psi: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.num_sessions <= 0:
             raise ValueError(f"num_sessions must be > 0, got {self.num_sessions}")
         if self.rounds <= 0:
             raise ValueError(f"rounds must be > 0, got {self.rounds}")
+        if self.noise_psi is not None:
+            NoiseModel(self.noise_psi)  # validates ψ ∈ [0, 1]
 
 
 @dataclass
@@ -145,6 +168,7 @@ class LoadReport:
             f"hit_rate={topk.get('hit_rate', 0.0):.2f}",
             f"  pools sampled={self.engine_stats.get('pools_sampled', 0)} "
             f"maintained={self.engine_stats.get('pools_maintained', 0)} "
+            f"adapted={self.engine_stats.get('pools_adapted', 0)} "
             f"warmed={self.engine_stats.get('pools_warmed', 0)}",
         ]
         repository = self.engine_stats.get("pool_repository") or {}
@@ -179,7 +203,11 @@ class TrafficSimulator:
     def _build_users(self) -> List[SimulatedUser]:
         spec = self.spec
         return build_user_population(
-            self.evaluator, spec.num_sessions, spec.identical_prefix, spec.user_seed
+            self.evaluator,
+            spec.num_sessions,
+            spec.identical_prefix,
+            spec.user_seed,
+            noise_psi=spec.noise_psi,
         )
 
     def run(self) -> LoadReport:
@@ -261,6 +289,9 @@ class AsyncWorkloadSpec:
     traffic_seed:
         Seed for the arrival offsets and think times, drawn up front so the
         workload is identical regardless of scheduling interleave.
+    noise_psi:
+        Optional §7 click-noise parameter ψ for the simulated users (see
+        :class:`WorkloadSpec`); ``None`` keeps clicks noise-free.
     """
 
     num_sessions: int = 32
@@ -271,6 +302,7 @@ class AsyncWorkloadSpec:
     user_seed: int = 0
     session_seed: int = 0
     traffic_seed: int = 0
+    noise_psi: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.num_sessions <= 0:
@@ -285,6 +317,8 @@ class AsyncWorkloadSpec:
             raise ValueError(
                 f"think_time_mean must be >= 0, got {self.think_time_mean}"
             )
+        if self.noise_psi is not None:
+            NoiseModel(self.noise_psi)  # validates ψ ∈ [0, 1]
 
 
 @dataclass
@@ -364,7 +398,11 @@ class AsyncTrafficSimulator:
         """Execute the workload; resolves to the measured report."""
         spec = self.spec
         users = build_user_population(
-            self.evaluator, spec.num_sessions, spec.identical_prefix, spec.user_seed
+            self.evaluator,
+            spec.num_sessions,
+            spec.identical_prefix,
+            spec.user_seed,
+            noise_psi=spec.noise_psi,
         )
         rng = ensure_rng(spec.traffic_seed)
         if spec.arrival_rate is not None:

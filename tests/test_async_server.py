@@ -396,3 +396,145 @@ class TestAsyncTrafficSimulator:
             AsyncWorkloadSpec(arrival_rate=0.0)
         with pytest.raises(ValueError):
             AsyncWorkloadSpec(think_time_mean=-0.1)
+
+# ========================================================== degraded shedding
+class DegradableStubEngine(StubEngine):
+    """Stub with the engine's degraded serving surface (``recommend_cached``)."""
+
+    def __init__(self, cached_ids=(), fail_ids=()):
+        super().__init__(fail_ids=fail_ids)
+        self.cached_ids = set(cached_ids)
+        self.cached_calls = []
+
+    def recommend_cached(self, session_id):
+        from repro.service import PoolUnavailableError
+
+        self.cached_calls.append(session_id)
+        if session_id not in self.cached_ids:
+            raise PoolUnavailableError(session_id)
+        return f"degraded:{session_id}"
+
+
+class TestDegradedShedding:
+    def test_overload_requests_with_hot_state_get_a_degraded_round(self):
+        async def main():
+            engine = DegradableStubEngine(cached_ids={"s3", "s4"})
+            dispatcher = MicroBatchDispatcher(
+                engine,
+                max_batch_size=16,
+                max_wait=0.01,
+                max_pending=3,
+                shed_mode="degrade",
+            )
+            results = await asyncio.gather(
+                *(dispatcher.submit(f"s{i}") for i in range(5)),
+                return_exceptions=True,
+            )
+            await dispatcher.drain()
+            return engine, dispatcher, results
+
+        engine, dispatcher, results = asyncio.run(main())
+        # s0..s2 fill the window; s3 and s4 overflow but are cached: degraded.
+        assert results[3] == "degraded:s3" and results[4] == "degraded:s4"
+        assert dispatcher.stats.requests_degraded == 2
+        assert dispatcher.stats.requests_shed == 0
+        # The window itself was served normally.
+        assert engine.batch_calls == [["s0", "s1", "s2"]]
+
+    def test_cache_missing_overload_requests_are_still_shed(self):
+        async def main():
+            engine = DegradableStubEngine(cached_ids={"s3"})
+            dispatcher = MicroBatchDispatcher(
+                engine,
+                max_batch_size=16,
+                max_wait=0.01,
+                max_pending=3,
+                shed_mode="degrade",
+            )
+            results = await asyncio.gather(
+                *(dispatcher.submit(f"s{i}") for i in range(5)),
+                return_exceptions=True,
+            )
+            await dispatcher.drain()
+            return dispatcher, results
+
+        dispatcher, results = asyncio.run(main())
+        assert results[3] == "degraded:s3"
+        assert isinstance(results[4], DispatcherOverloadedError)
+        assert dispatcher.stats.requests_degraded == 1
+        assert dispatcher.stats.requests_shed == 1
+
+    def test_reject_mode_never_calls_the_degraded_surface(self):
+        async def main():
+            engine = DegradableStubEngine(cached_ids={"s3", "s4"})
+            dispatcher = MicroBatchDispatcher(
+                engine, max_batch_size=16, max_wait=0.01, max_pending=3
+            )
+            results = await asyncio.gather(
+                *(dispatcher.submit(f"s{i}") for i in range(5)),
+                return_exceptions=True,
+            )
+            await dispatcher.drain()
+            return engine, results
+
+        engine, results = asyncio.run(main())
+        assert engine.cached_calls == []
+        assert sum(isinstance(r, DispatcherOverloadedError) for r in results) == 2
+
+    def test_engines_without_the_surface_fall_back_to_shedding(self):
+        async def main():
+            dispatcher = MicroBatchDispatcher(
+                StubEngine(),
+                max_batch_size=16,
+                max_wait=0.01,
+                max_pending=2,
+                shed_mode="degrade",
+            )
+            results = await asyncio.gather(
+                *(dispatcher.submit(f"s{i}") for i in range(3)),
+                return_exceptions=True,
+            )
+            await dispatcher.drain()
+            return dispatcher, results
+
+        dispatcher, results = asyncio.run(main())
+        assert sum(isinstance(r, DispatcherOverloadedError) for r in results) == 1
+        assert dispatcher.stats.requests_shed == 1
+        assert dispatcher.stats.requests_degraded == 0
+
+    def test_invalid_shed_mode_rejected(self):
+        with pytest.raises(ValueError):
+            MicroBatchDispatcher(StubEngine(), shed_mode="drop")
+
+    def test_real_engine_degraded_serve_uses_cached_pools(
+        self, serving_catalog, serving_profile
+    ):
+        """End to end: an overloaded window serves a warm session a real
+        degraded round from the exact-match caches, with zero new fills."""
+
+        async def main():
+            engine = make_engine(serving_catalog, serving_profile)
+            async with AsyncRecommendationServer(
+                engine,
+                max_batch_size=16,
+                max_wait=0.01,
+                max_pending=2,
+                shed_mode="degrade",
+            ) as server:
+                ids = [await server.create_session(seed=i) for i in range(4)]
+                # Warm every session once (and therefore the shared pool).
+                for sid in ids:
+                    engine.recommend(sid)
+                sampled_before = engine.stats().pools_sampled
+                results = await asyncio.gather(
+                    *(server.recommend(sid) for sid in ids),
+                    return_exceptions=True,
+                )
+            return engine, server, results, sampled_before
+
+        engine, server, results, sampled_before = asyncio.run(main())
+        rounds = [r for r in results if not isinstance(r, Exception)]
+        assert len(rounds) == 4  # overflow requests were degraded, not shed
+        assert server.dispatcher.stats.requests_degraded == 2
+        assert server.dispatcher.stats.requests_shed == 0
+        assert engine.stats().pools_sampled == sampled_before  # no fills

@@ -161,3 +161,49 @@ class TestSampleMaintainer:
         assert np.allclose(
             maintained.samples.mean(axis=0), fresh.samples.mean(axis=0), atol=0.06
         )
+
+
+class TestSoftMaintenance:
+    def _weighted_pool(self, samples):
+        from repro.sampling.base import SamplePool
+
+        rng = np.random.default_rng(7)
+        return SamplePool(samples, rng.random(samples.shape[0]) + 0.5)
+
+    def test_violators_are_downweighted_not_dropped(self, sample_pool_matrix):
+        pool = self._weighted_pool(sample_pool_matrix)
+        direction = np.array([0.5, -0.2, 0.1, 0.3])
+        maintainer = SampleMaintainer(HybridMaintenance())
+        new_pool, result = maintainer.soft_apply_feedback(pool, direction, psi=0.9)
+        violators = brute_force_violators(sample_pool_matrix, direction)
+        assert result.num_violations == violators.shape[0]
+        assert new_pool.size == pool.size  # nothing removed, nothing sampled
+        np.testing.assert_allclose(
+            new_pool.weights[violators], pool.weights[violators] * 0.1
+        )
+        keep = np.setdiff1d(np.arange(pool.size), violators)
+        np.testing.assert_array_equal(new_pool.weights[keep], pool.weights[keep])
+
+    def test_psi_one_zeroes_the_violators(self, sample_pool_matrix):
+        pool = self._weighted_pool(sample_pool_matrix)
+        direction = np.array([0.5, -0.2, 0.1, 0.3])
+        maintainer = SampleMaintainer(NaiveMaintenance())
+        new_pool, result = maintainer.soft_apply_feedback(pool, direction, psi=1.0)
+        assert np.all(new_pool.weights[result.violating_indices] == 0.0)
+
+    def test_no_violators_returns_the_pool_unchanged(self, sample_pool_matrix):
+        pool = self._weighted_pool(np.abs(sample_pool_matrix))
+        maintainer = SampleMaintainer(NaiveMaintenance())
+        new_pool, result = maintainer.soft_apply_feedback(
+            pool, np.ones(4), psi=0.9
+        )
+        assert result.num_violations == 0
+        assert new_pool is pool
+
+    def test_strategy_accounting_still_applies(self, sample_pool_matrix):
+        pool = self._weighted_pool(sample_pool_matrix)
+        direction = np.array([0.5, -0.2, 0.1, 0.3])
+        maintainer = SampleMaintainer(NaiveMaintenance())
+        _new_pool, result = maintainer.soft_apply_feedback(pool, direction, psi=0.5)
+        assert result.accesses == pool.size  # naive scans everything
+        assert result.strategy == "naive"

@@ -1,0 +1,176 @@
+"""Tests for noise-model importance reweighting (repro.sampling.reweight)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sampling.base import ConstraintSet, SamplePool
+from repro.sampling.reweight import (
+    downweight_violators,
+    importance_reweight,
+    pool_effective_sample_size,
+    residual_resample,
+    violation_weight_factors,
+)
+
+
+@pytest.fixture
+def quadrant_constraints() -> ConstraintSet:
+    """Valid region: the non-negative quadrant of R^2."""
+    return ConstraintSet(np.array([[1.0, 0.0], [0.0, 1.0]]))
+
+
+@pytest.fixture
+def mixed_pool() -> SamplePool:
+    """Three samples violating 0, 1 and 2 quadrant constraints respectively."""
+    return SamplePool(
+        np.array([[1.0, 1.0], [-1.0, 1.0], [-1.0, -1.0]]), np.ones(3)
+    )
+
+
+class TestViolationWeightFactors:
+    def test_factors_are_powers_of_one_minus_psi(
+        self, quadrant_constraints, mixed_pool
+    ):
+        factors = violation_weight_factors(
+            mixed_pool.samples, quadrant_constraints, 0.9
+        )
+        np.testing.assert_allclose(factors, [1.0, 0.1, 0.01])
+
+    def test_psi_one_is_the_hard_validity_indicator(
+        self, quadrant_constraints, mixed_pool
+    ):
+        factors = violation_weight_factors(
+            mixed_pool.samples, quadrant_constraints, 1.0
+        )
+        np.testing.assert_array_equal(factors, [1.0, 0.0, 0.0])
+
+    def test_psi_zero_means_feedback_carries_no_information(
+        self, quadrant_constraints, mixed_pool
+    ):
+        factors = violation_weight_factors(
+            mixed_pool.samples, quadrant_constraints, 0.0
+        )
+        np.testing.assert_array_equal(factors, [1.0, 1.0, 1.0])
+
+    def test_psi_out_of_range_raises(self, quadrant_constraints, mixed_pool):
+        with pytest.raises(ValueError):
+            violation_weight_factors(
+                mixed_pool.samples, quadrant_constraints, 1.5
+            )
+
+
+class TestImportanceReweight:
+    def test_identical_constraints_at_psi_one_is_byte_identical_reuse(
+        self, quadrant_constraints
+    ):
+        """The acceptance anchor: ψ=1 + identical sets degenerates to reuse."""
+        rng = np.random.default_rng(0)
+        samples = np.abs(rng.normal(size=(50, 2)))  # all valid in the quadrant
+        donor = SamplePool(samples, rng.random(50) + 0.5)
+        adapted = importance_reweight(donor, quadrant_constraints, 1.0)
+        assert adapted.samples.tobytes() == donor.samples.tobytes()
+        assert adapted.weights.tobytes() == donor.weights.tobytes()
+
+    def test_superset_at_psi_one_reduces_to_survival(
+        self, quadrant_constraints, mixed_pool
+    ):
+        adapted = importance_reweight(mixed_pool, quadrant_constraints, 1.0)
+        np.testing.assert_array_equal(adapted.weights, [1.0, 0.0, 0.0])
+
+    def test_existing_importance_weights_are_multiplied(
+        self, quadrant_constraints
+    ):
+        donor = SamplePool(
+            np.array([[1.0, 1.0], [-1.0, 1.0]]), np.array([2.0, 4.0])
+        )
+        adapted = importance_reweight(donor, quadrant_constraints, 0.5)
+        np.testing.assert_allclose(adapted.weights, [2.0, 2.0])
+
+    def test_donor_pool_is_never_mutated(self, quadrant_constraints, mixed_pool):
+        before_samples = mixed_pool.samples.copy()
+        before_weights = mixed_pool.weights.copy()
+        adapted = importance_reweight(mixed_pool, quadrant_constraints, 0.7)
+        adapted.samples[0, 0] = 99.0
+        adapted.weights[0] = 99.0
+        adapted.stats["sampler"] = "adapted"
+        np.testing.assert_array_equal(mixed_pool.samples, before_samples)
+        np.testing.assert_array_equal(mixed_pool.weights, before_weights)
+        assert "sampler" not in mixed_pool.stats
+
+
+class TestDownweightViolators:
+    def test_violators_scaled_by_one_minus_psi(self, mixed_pool):
+        result = downweight_violators(mixed_pool, np.array([1.0, 0.0]), 0.9)
+        np.testing.assert_allclose(result.weights, [1.0, 0.1, 0.1])
+
+    def test_sequential_downweights_compose_to_the_full_reweight(
+        self, quadrant_constraints, mixed_pool
+    ):
+        stepwise = mixed_pool
+        for direction in quadrant_constraints.directions:
+            stepwise = downweight_violators(stepwise, direction, 0.8)
+        joint = importance_reweight(mixed_pool, quadrant_constraints, 0.8)
+        np.testing.assert_allclose(stepwise.weights, joint.weights)
+
+    def test_dimension_mismatch_raises(self, mixed_pool):
+        with pytest.raises(ValueError):
+            downweight_violators(mixed_pool, np.array([1.0, 0.0, 0.0]), 0.9)
+
+
+class TestResidualResample:
+    def test_deterministic_given_a_seeded_rng(self):
+        rng = np.random.default_rng(3)
+        pool = SamplePool(rng.normal(size=(20, 3)), rng.random(20))
+        first = residual_resample(pool, 50, np.random.default_rng(7))
+        second = residual_resample(pool, 50, np.random.default_rng(7))
+        assert first.samples.tobytes() == second.samples.tobytes()
+
+    def test_returns_uniform_weights_of_the_requested_size(self):
+        pool = SamplePool(np.eye(4), np.array([8.0, 4.0, 2.0, 2.0]))
+        resampled = residual_resample(pool, 16, np.random.default_rng(0))
+        assert resampled.size == 16
+        np.testing.assert_array_equal(resampled.weights, np.ones(16))
+
+    def test_deterministic_part_replicates_by_floor_of_expected_copies(self):
+        pool = SamplePool(np.eye(4), np.array([8.0, 4.0, 2.0, 2.0]))
+        resampled = residual_resample(pool, 16, np.random.default_rng(0))
+        # Expected copies are exactly integral (8, 4, 2, 2): no residual draw.
+        counts = [
+            int(np.sum(np.all(resampled.samples == row, axis=1)))
+            for row in pool.samples
+        ]
+        assert counts == [8, 4, 2, 2]
+
+    def test_all_zero_weights_resample_uniformly(self):
+        pool = SamplePool(np.eye(3), np.zeros(3))
+        resampled = residual_resample(pool, 9, np.random.default_rng(0))
+        assert resampled.size == 9
+
+    def test_empty_pool_and_bad_count_raise(self):
+        with pytest.raises(ValueError):
+            residual_resample(SamplePool.empty(2), 5)
+        pool = SamplePool(np.eye(2), np.ones(2))
+        with pytest.raises(ValueError):
+            residual_resample(pool, 0)
+
+
+class TestPoolEffectiveSampleSize:
+    def test_uniform_weights_give_the_pool_size(self):
+        pool = SamplePool(np.eye(5), np.ones(5))
+        assert pool_effective_sample_size(pool) == pytest.approx(5.0)
+
+    def test_all_zero_weights_give_zero_not_the_pool_size(self):
+        """The conservative gate reading (SamplePool.effective_sample_size
+        treats all-zero as uniform; the adaptation gate must not)."""
+        pool = SamplePool(np.eye(5), np.zeros(5))
+        assert pool_effective_sample_size(pool) == 0.0
+        assert pool.effective_sample_size() == 5.0  # the documented contrast
+
+    def test_accepts_raw_weight_arrays(self):
+        assert pool_effective_sample_size(np.array([1.0, 1.0])) == pytest.approx(2.0)
+
+    def test_skew_reduces_ess(self):
+        skewed = pool_effective_sample_size(np.array([1.0, 0.01, 0.01]))
+        assert 1.0 <= skewed < 1.2

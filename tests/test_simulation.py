@@ -117,3 +117,41 @@ class TestElicitationSession:
         result = ElicitationSession(recommender, user, max_rounds=12).run()
         # The paper's observation: only a few clicks are needed.
         assert result.clicks_to_convergence <= 12
+
+
+class TestNoisyWorkloads:
+    def test_build_user_population_attaches_the_noise_model(self, small_evaluator):
+        from repro.simulation.traffic import build_user_population
+
+        users = build_user_population(
+            small_evaluator, 4, identical_prefix=True, user_seed=0, noise_psi=0.8
+        )
+        assert all(user.noise is not None for user in users)
+        assert all(user.noise.psi == 0.8 for user in users)
+        noise_free = build_user_population(
+            small_evaluator, 4, identical_prefix=True, user_seed=0
+        )
+        assert all(user.noise is None for user in noise_free)
+
+    def test_identical_prefix_noisy_users_fork_independently(self, small_evaluator):
+        """Each noisy user needs its own click-noise stream: identical streams
+        would corrupt every session identically and never fork a prefix."""
+        from repro.simulation.traffic import build_user_population
+
+        users = build_user_population(
+            small_evaluator, 2, identical_prefix=True, user_seed=0, noise_psi=0.5
+        )
+        presented = [Package.of([i]) for i in range(4)]
+        first = [users[0].click(presented) for _ in range(20)]
+        second = [users[1].click(presented) for _ in range(20)]
+        assert first != second
+
+    def test_workload_specs_validate_noise_psi(self):
+        from repro.simulation.traffic import AsyncWorkloadSpec, WorkloadSpec
+
+        with pytest.raises(ValueError):
+            WorkloadSpec(noise_psi=1.5)
+        with pytest.raises(ValueError):
+            AsyncWorkloadSpec(noise_psi=-0.1)
+        assert WorkloadSpec(noise_psi=0.9).noise_psi == 0.9
+        assert AsyncWorkloadSpec(noise_psi=0.9).noise_psi == 0.9

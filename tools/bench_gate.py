@@ -49,6 +49,13 @@ PINNED_FLOORS = {
     # parallel fill timing is recorded unpinned (single-core CI runners
     # cannot overlap threads, so a wall-clock floor would be noise).
     "snapshot_compaction_ratio": 5.0,
+    # Approximate pool reuse (PR 5): on the private-exploration miss workload
+    # an ESS-gated reweighted donor pool must be served at least 3x faster
+    # than the full resampling fill it replaces (measured ~8x), and the ESS
+    # gate must pass at least half of the high-overlap misses through
+    # (measured ~0.84; the remainder legitimately fall back to fills).
+    "adaptation_miss_speedup": 3.0,
+    "adaptation_reuse_rate": 0.5,
 }
 
 EXPECTED_SCHEMA_VERSION = 1
