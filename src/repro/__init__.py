@@ -78,9 +78,15 @@ from repro.service import (
     MicroBatchDispatcher,
     EngineConfig,
     EngineStats,
+    EventLog,
+    EventLogCorruptionError,
+    EventLogStore,
     JsonSessionStore,
     MemorySessionStore,
     PoolRepository,
+    ReplayDivergenceError,
+    RetentionReport,
+    mine_click_prefixes,
     RecommendationEngine,
     SamplePoolCache,
     SessionExpiredError,
@@ -159,5 +165,11 @@ __all__ = [
     "MemorySessionStore",
     "JsonSessionStore",
     "SqliteSessionStore",
+    "EventLog",
+    "EventLogCorruptionError",
+    "EventLogStore",
+    "ReplayDivergenceError",
+    "RetentionReport",
+    "mine_click_prefixes",
     "__version__",
 ]

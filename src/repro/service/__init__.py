@@ -34,6 +34,18 @@ identical therefore share one pool and one top-k result, keyed by a canonical
   :class:`SessionStore` (JSON files or SQLite in WAL mode) and restored on
   their next request.  Swap-out snapshots reference pools by fingerprint
   (stored once per key in the store's pool table) — snapshot compaction.
+* :class:`EventLogStore` + :class:`EventLog` — the event-sourced store: an
+  append-only, CRC-framed, fsync-batched log of ``session_created`` /
+  ``recommend_served`` / ``feedback`` events is the source of truth; a
+  swap-out appends a ``(log offset, pool reference)`` checkpoint instead of
+  a blob, restore *replays* the click history through the deterministic
+  elicitation path (bit-identical to never having swapped out), crash
+  recovery truncates the torn tail and replays the intact prefix, and one
+  :meth:`EventLogStore.compact` sweep drives both log-segment retention and
+  pool-table garbage collection.  :func:`mine_click_prefixes` +
+  :meth:`RecommendationEngine.warm_start_from_log` frequency-rank the
+  *observed* click prefixes to warm depth-2+ pools no enumeration could
+  foresee.
 * :class:`AsyncRecommendationServer` + :class:`MicroBatchDispatcher` — the
   asyncio front-end: concurrent ``recommend`` requests accumulate in a
   micro-batch window (max size / max wait, with a ``max_pending``
@@ -61,9 +73,20 @@ from repro.service.dispatcher import (
     DispatcherStats,
     MicroBatchDispatcher,
 )
+from repro.service.eventlog import (
+    EventLog,
+    EventLogCorruptionError,
+    EventLogStore,
+    LogPosition,
+    PrefixStat,
+    ReplayDivergenceError,
+    RetentionReport,
+    mine_click_prefixes,
+)
 from repro.service.pool_cache import CacheStats, LruCache, SamplePoolCache
 from repro.service.pool_repository import (
     InlineShardBackend,
+    LogWarmStartReport,
     PoolFillJob,
     PoolRepository,
     PoolShard,
@@ -107,6 +130,7 @@ __all__ = [
     "LruCache",
     "SamplePoolCache",
     "InlineShardBackend",
+    "LogWarmStartReport",
     "PoolFillJob",
     "PoolRepository",
     "PoolShard",
@@ -120,6 +144,14 @@ __all__ = [
     "MemorySessionStore",
     "JsonSessionStore",
     "SqliteSessionStore",
+    "EventLog",
+    "EventLogCorruptionError",
+    "EventLogStore",
+    "LogPosition",
+    "PrefixStat",
+    "ReplayDivergenceError",
+    "RetentionReport",
+    "mine_click_prefixes",
     "SessionEntry",
     "SessionManager",
     "EngineConfig",

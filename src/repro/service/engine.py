@@ -74,6 +74,13 @@ from repro.service.adaptation import (
     ConstraintSimilarityIndex,
     PoolAdapter,
 )
+from repro.service.eventlog import (
+    EVENT_FEEDBACK,
+    EVENT_RECOMMEND_SERVED,
+    EventLogStore,
+    REPLAY_PAYLOAD_KIND,
+    ReplayDivergenceError,
+)
 from repro.service.pool_cache import LruCache
 from repro.service.pool_repository import (
     PoolFillJob,
@@ -121,6 +128,11 @@ SNAPSHOT_VERSION = 2
 
 #: Snapshot versions :meth:`RecommendationEngine.restore` accepts.
 SUPPORTED_SNAPSHOT_VERSIONS = (1, 2)
+
+#: Event-log replay payload versions :meth:`RecommendationEngine.restore`
+#: accepts (the ``kind == "eventlog-replay"`` payloads an
+#: :class:`~repro.service.eventlog.EventLogStore` emits).
+SUPPORTED_REPLAY_VERSIONS = (1,)
 
 
 @dataclass
@@ -271,6 +283,8 @@ class EngineStats:
     pool_repository: dict
     topk_cache: dict
     adaptation: dict = field(default_factory=dict)
+    sessions_replayed: int = 0
+    eventlog: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         return {
@@ -291,6 +305,8 @@ class EngineStats:
             "pool_repository": dict(self.pool_repository),
             "topk_cache": dict(self.topk_cache),
             "adaptation": dict(self.adaptation),
+            "sessions_replayed": self.sessions_replayed,
+            "eventlog": dict(self.eventlog),
         }
 
 
@@ -332,6 +348,21 @@ class RecommendationEngine:
         self.store = store
         self.predicates = predicates
         self.clock = clock
+        # Log-backed store: sessions persist as events, restore is replay.
+        self.event_log: Optional[EventLogStore] = (
+            store if isinstance(store, EventLogStore) else None
+        )
+        if self.event_log is not None and not self.config.sharing_enabled:
+            # With sharing disabled each session samples its pool from its own
+            # RNG, so replaying clicks without re-running those sampling draws
+            # would desynchronise the RNG stream — replay restore requires the
+            # provider path, where pool fills never touch session randomness.
+            raise ValueError(
+                "EventLogStore requires pool sharing "
+                "(pool_cache_size > 0, topk_cache_size > 0, or "
+                "use_batch_sampler): replay restore relies on pool fills "
+                "that do not consume session RNG"
+            )
         elicitation = self.config.elicitation
         self._seed_rng = ensure_rng(self.config.seed)
         # One prior shared by every session: pools are only interchangeable
@@ -396,6 +427,7 @@ class RecommendationEngine:
             store=store,
             snapshot_fn=self._swap_out_snapshot if store is not None else None,
             restore_fn=self._restore_entry if store is not None else None,
+            touch_fn=self._touch_record if self.event_log is not None else None,
             clock=clock,
         )
         self._session_counter = 0
@@ -403,6 +435,7 @@ class RecommendationEngine:
         self._freshly_prefetched: set = set()
         self._freshly_searched: set = set()
         self.sessions_created = 0
+        self.sessions_replayed = 0
         self.rounds_served = 0
         self.feedback_events = 0
         self.pools_sampled = 0
@@ -448,6 +481,12 @@ class RecommendationEngine:
         if seed is None:
             seed = int(self._seed_rng.integers(0, 2**31 - 1))
         entry = self._new_entry(session_id, int(seed))
+        if self.event_log is not None:
+            # Logged before the session can serve or be evicted: the created
+            # event (and its seed) is everything replay needs to start from.
+            self.event_log.log_session_created(
+                session_id, seed=int(seed), created_at=entry.created_at
+            )
         self.sessions.add(entry)
         self.sessions_created += 1
         return session_id
@@ -637,6 +676,27 @@ class RecommendationEngine:
         report = WarmStartPlanner(self, first_clicks=first_clicks).warm()
         return report
 
+    def warm_start_from_log(
+        self, store: Optional[EventLogStore] = None, top_n: int = 8
+    ):
+        """Warm the most frequently *observed* click-prefix pools from a log.
+
+        Mines the event log's feedback histories for the constraint-set
+        prefixes real sessions passed through, frequency-ranks them, and
+        fills + pins the pools of the top ``top_n`` — reaching depth-2+
+        prefixes that exhaustive first-click enumeration cannot (observed
+        prefixes sidestep the combinatorics).  ``store`` defaults to this
+        engine's own event-log store.
+        """
+        if store is None:
+            store = self.event_log
+        if store is None:
+            raise ValueError(
+                "warm_start_from_log requires an EventLogStore (pass one, or "
+                "construct the engine with one as its session store)"
+            )
+        return WarmStartPlanner(self).warm_from_log(store, top_n=top_n)
+
     # ================================================================ serving
     def recommend(self, session_id: str) -> RecommendationRound:
         """Serve one recommendation round for a session."""
@@ -710,6 +770,16 @@ class RecommendationEngine:
         entry.rounds_served += 1
         entry.dirty = True
         self.rounds_served += 1
+        if self.event_log is not None:
+            self.event_log.log_round_served(
+                entry.session_id,
+                recommended=[
+                    [int(i) for i in p.items] for p in round_.recommended
+                ],
+                random_packages=[
+                    [int(i) for i in p.items] for p in round_.random_packages
+                ],
+            )
         return round_
 
     def recommend_cached(self, session_id: str) -> RecommendationRound:
@@ -768,6 +838,10 @@ class RecommendationEngine:
         entry.feedback_events += 1
         entry.dirty = True
         self.feedback_events += 1
+        if self.event_log is not None:
+            self.event_log.log_feedback(
+                session_id, clicked=[int(i) for i in clicked.items]
+            )
         return added
 
     def _topk_key_for(
@@ -916,8 +990,21 @@ class RecommendationEngine:
         return self._snapshot_entry(entry, embed_pool=embed_pool)
 
     def _swap_out_snapshot(self, entry: SessionEntry) -> dict:
-        """SessionManager's snapshot_fn: swap-outs use compact pool references."""
+        """SessionManager's snapshot_fn: swap-outs use compact pool references.
+
+        With an event-log store, a replayable session's "snapshot" is just a
+        checkpoint event — ``(log offset, pool reference)`` — because its
+        whole history is already in the log.  Sessions imported from a blob
+        (``entry.replayable`` False) keep writing full blobs: the log never
+        saw their history.
+        """
+        if self.event_log is not None and entry.replayable:
+            return self._checkpoint_entry(entry)
         return self._snapshot_entry(entry, embed_pool=False)
+
+    def _touch_record(self, entry: SessionEntry) -> None:
+        """SessionManager's touch_fn: clean swap-outs log true last access."""
+        self.event_log.log_touch(entry.session_id, last_access=entry.last_access)
 
     def _pool_digest(self, pool: SamplePool) -> str:
         """Content hash of a pool's samples and weights.
@@ -942,6 +1029,43 @@ class RecommendationEngine:
         """
         return f"{key}#{digest}"
 
+    def _pool_payload(
+        self, entry: SessionEntry, pool: SamplePool, embed_pool: bool
+    ) -> dict:
+        """A snapshot/checkpoint pool payload: embedded floats or a reference."""
+        if embed_pool or entry.pool_key is None:
+            # Sessions outside the shared-pool world (sharing disabled, or a
+            # pool installed without a key) cannot be resolved by reference.
+            return {
+                "key": entry.pool_key,
+                "samples": pool.samples.tolist(),
+                "weights": pool.weights.tolist(),
+            }
+        pool_digest = self._pool_digest(pool)
+        self._persist_pool(self._pool_store_key(entry.pool_key, pool_digest), pool)
+        return {"key": entry.pool_key, "digest": pool_digest}
+
+    def _checkpoint_entry(self, entry: SessionEntry) -> dict:
+        """The event-log checkpoint of a replayable session.
+
+        No preferences, no RNG state, no last round: all of that replays
+        from the log.  What cannot be replayed cheaply is the *materialised
+        pool* (a maintained pool depends on history the §3.4 ladder would
+        have to re-walk), so the checkpoint materialises it and carries the
+        content-addressed reference; restore reattaches the exact build at
+        the checkpoint's position in the event stream.
+        """
+        pool = entry.recommender.sample_pool()
+        return {
+            "kind": "eventlog-checkpoint",
+            "session_id": entry.session_id,
+            "seed": entry.seed,
+            "created_at": entry.created_at,
+            "rounds_served": entry.rounds_served,
+            "feedback_events": entry.feedback_events,
+            "pool": self._pool_payload(entry, pool, embed_pool=False),
+        }
+
     def _snapshot_entry(self, entry: SessionEntry, embed_pool: bool = True) -> dict:
         recommender = entry.recommender
         # Materialise the pending pool first: after feedback the pool is
@@ -951,20 +1075,7 @@ class RecommendationEngine:
         # evicting request — the price of the exact round-trip guarantee.
         pool = recommender.sample_pool()
         last_round = recommender.last_round
-        if embed_pool or entry.pool_key is None:
-            # Sessions outside the shared-pool world (sharing disabled, or a
-            # pool installed without a key) cannot be resolved by reference.
-            pool_payload = {
-                "key": entry.pool_key,
-                "samples": pool.samples.tolist(),
-                "weights": pool.weights.tolist(),
-            }
-        else:
-            pool_digest = self._pool_digest(pool)
-            self._persist_pool(
-                self._pool_store_key(entry.pool_key, pool_digest), pool
-            )
-            pool_payload = {"key": entry.pool_key, "digest": pool_digest}
+        pool_payload = self._pool_payload(entry, pool, embed_pool)
         return {
             "version": SNAPSHOT_VERSION,
             "session_id": entry.session_id,
@@ -1010,9 +1121,22 @@ class RecommendationEngine:
         )
 
     def restore(self, payload: dict, replace_existing: bool = False) -> str:
-        """Rebuild a session from a :meth:`snapshot` payload and register it."""
+        """Rebuild a session from a :meth:`snapshot` payload and register it.
+
+        Also accepts the replay payloads an
+        :class:`~repro.service.eventlog.EventLogStore` emits
+        (``kind == "eventlog-replay"``): the session is rebuilt by replaying
+        its logged rounds and clicks through the deterministic elicitation
+        path.
+        """
         version = payload.get("version")
-        if version not in SUPPORTED_SNAPSHOT_VERSIONS:
+        if payload.get("kind") == REPLAY_PAYLOAD_KIND:
+            if version not in SUPPORTED_REPLAY_VERSIONS:
+                raise ValueError(
+                    f"unsupported replay payload version {version!r} "
+                    f"(engine reads versions {SUPPORTED_REPLAY_VERSIONS})"
+                )
+        elif version not in SUPPORTED_SNAPSHOT_VERSIONS:
             raise ValueError(
                 f"unsupported snapshot version {version!r} "
                 f"(engine reads versions {SUPPORTED_SNAPSHOT_VERSIONS} and "
@@ -1031,7 +1155,13 @@ class RecommendationEngine:
         return session_id
 
     def _restore_entry(self, payload: dict) -> SessionEntry:
+        if payload.get("kind") == REPLAY_PAYLOAD_KIND:
+            return self._replay_entry(payload)
         entry = self._new_entry(payload["session_id"], int(payload["seed"]))
+        # A blob-restored session has history the event log never saw, so it
+        # cannot be rebuilt by replay: keep writing full snapshot blobs on
+        # swap-out.  (_replay_entry overrides this for log-native sessions.)
+        entry.replayable = False
         recommender = entry.recommender
         entry.created_at = payload["created_at"]
         entry.rounds_served = payload["rounds_served"]
@@ -1122,6 +1252,80 @@ class RecommendationEngine:
             recommender.set_pool(pool)
         # else: leave the pool pending; the provider fills it lazily.
 
+    # ========================================================== replay restore
+    def _replay_entry(self, payload: dict) -> SessionEntry:
+        """Rebuild a session by replaying its event-log history.
+
+        The logged ``recommended`` packages are injected into
+        :meth:`PackageRecommender.recommend`, which re-draws the exploration
+        packages from the session RNG exactly as the live session did — so
+        after replay the RNG stream, preference DAG and last round are
+        bit-identical to a session that never swapped out.  The re-drawn
+        exploration packages are checked against the log
+        (:class:`ReplayDivergenceError` on mismatch): replay is also an
+        integrity audit of the deterministic path.
+
+        Checkpoint pool reattachment is *phased*: the checkpointed pool is
+        attached at the checkpoint's position in the event stream, so a
+        click replayed after it parks it as the stale pool for §3.4
+        maintenance — exactly the state a live session would be in.
+        """
+        base = payload.get("base")
+        if base is not None:
+            # A session imported from a snapshot blob: the blob is the base
+            # state and only the suffix logged after it replays on top.
+            entry = self._restore_entry(base)
+        else:
+            entry = self._new_entry(payload["session_id"], int(payload["seed"]))
+            if payload.get("created_at") is not None:
+                entry.created_at = payload["created_at"]
+        recommender = entry.recommender
+        checkpoint = payload.get("checkpoint")
+        checkpoint_seq = int(payload.get("checkpoint_seq") or 0)
+        pool_attached = checkpoint is None
+        for event in payload.get("events") or ():
+            if not pool_attached and int(event.get("seq", 0)) > checkpoint_seq:
+                self._restore_pool(entry, checkpoint.get("pool"))
+                pool_attached = True
+            etype = event.get("type")
+            if etype == EVENT_RECOMMEND_SERVED:
+                recommended = [
+                    Package(tuple(int(i) for i in items))
+                    for items in event.get("recommended") or []
+                ]
+                round_ = recommender.recommend(
+                    recommended=recommended if recommended else None
+                )
+                entry.rounds_served += 1
+                replayed = [list(p.items) for p in round_.random_packages]
+                logged = [
+                    [int(i) for i in items] for items in event.get("random") or []
+                ]
+                if replayed != logged:
+                    raise ReplayDivergenceError(
+                        f"session {entry.session_id!r}: replayed exploration "
+                        f"packages {replayed} differ from logged {logged} at "
+                        f"seq {event.get('seq')} — the deterministic serving "
+                        f"path changed since the log was written"
+                    )
+            elif etype == EVENT_FEEDBACK:
+                clicked = Package(tuple(int(i) for i in event["clicked"]))
+                try:
+                    recommender.feedback(clicked)
+                except ValueError as exc:
+                    raise ReplayDivergenceError(
+                        f"session {entry.session_id!r}: logged click "
+                        f"{list(clicked.items)} rejected during replay at "
+                        f"seq {event.get('seq')}: {exc}"
+                    ) from exc
+                entry.feedback_events += 1
+        if not pool_attached:
+            # No events after the checkpoint: the pool attaches as current.
+            self._restore_pool(entry, checkpoint.get("pool"))
+        entry.replayable = base is None
+        self.sessions_replayed += 1
+        return entry
+
     # ================================================================== stats
     def stats(self) -> EngineStats:
         """Current serving counters (sessions, rounds, cache efficiency)."""
@@ -1149,5 +1353,9 @@ class RecommendationEngine:
                 self.pool_adapter.stats.as_dict()
                 if self.pool_adapter is not None
                 else {}
+            ),
+            sessions_replayed=self.sessions_replayed,
+            eventlog=(
+                self.event_log.describe() if self.event_log is not None else {}
             ),
         )

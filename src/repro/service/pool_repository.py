@@ -521,6 +521,23 @@ class WarmStartReport:
         return len(self.warmed_keys)
 
 
+@dataclass
+class LogWarmStartReport:
+    """What one log-mined warm-start pass precomputed.
+
+    ``prefixes_mined`` counts every distinct constraint-set prefix observed
+    in the log; ``warmed_keys`` are the (up to ``top_n``) most frequent ones
+    whose pools are now filled and pinned.
+    """
+
+    warmed_keys: List[str]
+    pools_filled: int
+    prefixes_mined: int
+
+    def __len__(self) -> int:
+        return len(self.warmed_keys)
+
+
 class WarmStartPlanner:
     """Precompute and pin the always-hot pools so cold sessions never sample.
 
@@ -637,4 +654,57 @@ class WarmStartPlanner:
             first_clicks_skipped=(
                 self.first_clicks > 0 and elicitation.num_random > 0
             ),
+        )
+
+    def warm_from_log(self, store, top_n: int = 8) -> LogWarmStartReport:
+        """Fill and pin the pools of the log's most frequent click prefixes.
+
+        Where :meth:`warm` *enumerates* first clicks (and must skip the
+        enumeration entirely when exploration packages make real first-click
+        fingerprints unforeseeable), this pass mines the fingerprints that
+        real sessions **actually produced** — exploration packages, depth-2+
+        prefixes and all — from an event-log store
+        (:func:`~repro.service.eventlog.mine_click_prefixes`), ranks them by
+        session frequency, and fills the top ``top_n`` in one
+        :meth:`~ShardedPoolRepository.fill_many` batch.  Fills are
+        key-deterministic, so the warmed pools are bit-identical to the
+        fresh fills a live miss would have produced.
+        """
+        from repro.service.eventlog import mine_click_prefixes
+
+        if top_n < 0:
+            raise ValueError(f"top_n must be >= 0, got {top_n}")
+        engine = self.engine
+        repository: PoolRepository = engine.pool_repository
+        if getattr(repository, "capacity", None) == 0:
+            raise ValueError(
+                "warm start requires a pool cache (pool_cache_size > 0): "
+                "with storage disabled there is nowhere to pin the warm pools"
+            )
+        count = engine.config.elicitation.num_samples
+        mined = mine_click_prefixes(store, engine.evaluator)
+        jobs: List[PoolFillJob] = []
+        warmed: List[str] = []
+        for stat in mined[:top_n]:
+            key = engine._pool_key(stat.constraints, count)
+            pool = repository.peek(key)
+            if pool is not None:
+                # Already live (e.g. pinned by an earlier pass): re-pin so it
+                # survives LRU churn, but do not refill.
+                repository.pin(key, pool)
+                warmed.append(key)
+                continue
+            if any(job.key == key for job in jobs):
+                continue
+            jobs.append(PoolFillJob(key, stat.constraints, count))
+        if jobs:
+            pools = repository.fill_many(jobs)
+            for job in jobs:
+                repository.pin(job.key, engine._stamp_pool(pools[job.key]))
+                warmed.append(job.key)
+        engine.pools_warmed += len(jobs)
+        return LogWarmStartReport(
+            warmed_keys=warmed,
+            pools_filled=len(jobs),
+            prefixes_mined=len(mined),
         )

@@ -46,6 +46,11 @@ class SessionEntry:
     rounds_served: int = 0
     feedback_events: int = 0
     dirty: bool = True
+    #: Whether the session's full history is reconstructable from the
+    #: engine's event log.  Sessions imported from a snapshot blob (public
+    #: ``restore``) carry history the log never saw and must keep writing
+    #: full blobs on swap-out.
+    replayable: bool = True
 
 
 #: Engine-supplied (de)hydration callbacks.
@@ -69,6 +74,10 @@ class SessionManager:
     snapshot_fn / restore_fn:
         Callbacks that serialise/deserialise a session; required when a store
         is configured.
+    touch_fn:
+        Optional callback invoked when a *clean* entry is swapped out without
+        a snapshot write; log-backed stores use it to append a cheap touch
+        record so TTL expiry still sees the true ``_last_access``.
     clock:
         Monotonic time source (injectable for tests).
     """
@@ -80,6 +89,7 @@ class SessionManager:
         store: Optional[SessionStore] = None,
         snapshot_fn: Optional[SnapshotFn] = None,
         restore_fn: Optional[RestoreFn] = None,
+        touch_fn: Optional[Callable[[SessionEntry], None]] = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if max_active <= 0:
@@ -93,6 +103,7 @@ class SessionManager:
         self.store = store
         self.snapshot_fn = snapshot_fn
         self.restore_fn = restore_fn
+        self.touch_fn = touch_fn
         self.clock = clock
         self._active: "OrderedDict[str, SessionEntry]" = OrderedDict()
         self._pinned: Set[str] = set()
@@ -187,10 +198,14 @@ class SessionManager:
                     # The entry is byte-for-byte what its last stored snapshot
                     # restores to (it was restored and never served a round or
                     # fed back since), so re-serialising it — which would also
-                    # re-materialise its pool — buys nothing.  The skipped
-                    # write leaves the *older* `_last_access` in the store, so
-                    # TTL expiry of a clean swap-out is conservative: it may
-                    # expire up to one idle period earlier, never later.
+                    # re-materialise its pool — buys nothing.  Without a
+                    # touch_fn the skipped write leaves the *older*
+                    # `_last_access` in the store, so TTL expiry of a clean
+                    # swap-out is conservative (it may expire up to one idle
+                    # period earlier, never later); a touch_fn closes even
+                    # that gap with a cheap access-time record.
+                    if self.touch_fn is not None:
+                        self.touch_fn(entry)
                     self.swap_writes_skipped += 1
                 self.sessions_swapped_out += 1
             # Without a store the LRU session is simply dropped; its id will

@@ -202,6 +202,70 @@ class MemorySessionStore(SessionStore):
         )
 
 
+class JsonFilePoolTable:
+    """A durable pool table: one atomic JSON file per pool key.
+
+    Factored out of :class:`JsonSessionStore` so every directory-backed store
+    (JSON snapshots, the event-log store) shares one pool-file scheme: pool
+    keys are percent-encoded into flat ``<key>.json`` files, written via a
+    temp-file + :func:`os.replace` so readers never observe partial JSON.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+
+    def _path(self, pool_key: str) -> str:
+        return os.path.join(self.directory, f"{quote(pool_key, safe='')}.json")
+
+    @staticmethod
+    def write_atomic(path: str, document: dict) -> None:
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+        os.replace(tmp, path)  # atomic on POSIX: readers never see partial JSON
+
+    def save(self, pool_key: str, payload: dict) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+        self.write_atomic(
+            self._path(pool_key), {"saved_at": _utc_now_iso(), "payload": payload}
+        )
+
+    def load(self, pool_key: str) -> Optional[dict]:
+        path = self._path(pool_key)
+        if not os.path.exists(path):
+            return None
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)["payload"]
+
+    def has(self, pool_key: str) -> bool:
+        return os.path.exists(self._path(pool_key))
+
+    def delete(self, pool_key: str) -> bool:
+        path = self._path(pool_key)
+        if not os.path.exists(path):
+            return False
+        os.remove(path)
+        return True
+
+    def keys(self) -> List[str]:
+        if not os.path.isdir(self.directory):
+            return []
+        return sorted(
+            unquote(name[: -len(".json")])
+            for name in os.listdir(self.directory)
+            if name.endswith(".json")
+        )
+
+    def total_bytes(self) -> int:
+        if not os.path.isdir(self.directory):
+            return 0
+        return sum(
+            os.path.getsize(os.path.join(self.directory, name))
+            for name in os.listdir(self.directory)
+            if name.endswith(".json")
+        )
+
+
 class JsonSessionStore(SessionStore):
     """One JSON file per session under a directory.
 
@@ -212,7 +276,8 @@ class JsonSessionStore(SessionStore):
 
     def __init__(self, directory: str) -> None:
         self.directory = directory
-        self.pools_directory = os.path.join(directory, "pools")
+        self._pool_table = JsonFilePoolTable(os.path.join(directory, "pools"))
+        self.pools_directory = self._pool_table.directory
         os.makedirs(directory, exist_ok=True)
 
     def _path(self, session_id: str) -> str:
@@ -220,15 +285,7 @@ class JsonSessionStore(SessionStore):
         # session ids ("a/b" vs "a_b") can never overwrite each other's files.
         return os.path.join(self.directory, f"{quote(session_id, safe='')}.json")
 
-    def _pool_path(self, pool_key: str) -> str:
-        return os.path.join(self.pools_directory, f"{quote(pool_key, safe='')}.json")
-
-    @staticmethod
-    def _write_atomic(path: str, document: dict) -> None:
-        tmp = path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(document, handle)
-        os.replace(tmp, path)  # atomic on POSIX: readers never see partial JSON
+    _write_atomic = staticmethod(JsonFilePoolTable.write_atomic)
 
     def save(self, session_id: str, payload: dict) -> None:
         self._write_atomic(
@@ -258,46 +315,28 @@ class JsonSessionStore(SessionStore):
         )
 
     def save_pool(self, pool_key: str, payload: dict) -> None:
-        os.makedirs(self.pools_directory, exist_ok=True)
-        self._write_atomic(
-            self._pool_path(pool_key),
-            {"saved_at": _utc_now_iso(), "payload": payload},
-        )
+        self._pool_table.save(pool_key, payload)
 
     def load_pool(self, pool_key: str) -> Optional[dict]:
-        path = self._pool_path(pool_key)
-        if not os.path.exists(path):
-            return None
-        with open(path, "r", encoding="utf-8") as handle:
-            return json.load(handle)["payload"]
+        return self._pool_table.load(pool_key)
 
     def has_pool(self, pool_key: str) -> bool:
-        return os.path.exists(self._pool_path(pool_key))
+        return self._pool_table.has(pool_key)
 
     def delete_pool(self, pool_key: str) -> bool:
-        path = self._pool_path(pool_key)
-        if not os.path.exists(path):
-            return False
-        os.remove(path)
-        return True
+        return self._pool_table.delete(pool_key)
 
     def list_pool_keys(self) -> List[str]:
-        if not os.path.isdir(self.pools_directory):
-            return []
-        return sorted(
-            unquote(name[: -len(".json")])
-            for name in os.listdir(self.pools_directory)
-            if name.endswith(".json")
-        )
+        return self._pool_table.keys()
 
     def total_bytes(self) -> int:
-        total = 0
-        for directory in (self.directory, self.pools_directory):
-            if not os.path.isdir(directory):
-                continue
-            for name in os.listdir(directory):
-                if name.endswith(".json"):
-                    total += os.path.getsize(os.path.join(directory, name))
+        total = self._pool_table.total_bytes()
+        if os.path.isdir(self.directory):
+            total += sum(
+                os.path.getsize(os.path.join(self.directory, name))
+                for name in os.listdir(self.directory)
+                if name.endswith(".json")
+            )
         return total
 
 

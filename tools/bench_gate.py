@@ -56,6 +56,14 @@ PINNED_FLOORS = {
     # (measured ~0.84; the remainder legitimately fall back to fills).
     "adaptation_miss_speedup": 3.0,
     "adaptation_reuse_rate": 0.5,
+    # Event-sourced session store (PR 6): every round served by a
+    # replay-restored session — including rounds served after a simulated
+    # crash truncates a torn tail record — must be bit-identical to the
+    # never-swapped reference engine (the indicator is the metric), and the
+    # checkpoint append path must never be slower than the SQLite blob
+    # swap-out it replaces (measured ~7x faster).
+    "eventlog_replay_equivalence": 1.0,
+    "eventlog_swap_out_speedup": 1.0,
 }
 
 EXPECTED_SCHEMA_VERSION = 1
