@@ -50,7 +50,7 @@ from repro.sampling.rejection import RejectionSampler
 from repro.sampling.importance import ImportanceSampler
 from repro.sampling.mcmc import MetropolisHastingsSampler
 from repro.topk.package_search import PackageSearchResult, TopKPackageSearcher
-from repro.topk.batch_search import BatchTopKPackageSearcher
+from repro.topk.batch_search import BatchTopKPackageSearcher, CandidateCarryover
 from repro.topk.bruteforce import brute_force_top_k_packages
 from repro.data.datasets import load_benchmark_dataset
 from repro.data.nba import generate_nba_dataset
@@ -65,7 +65,11 @@ from repro.simulation.traffic import (
     WorkloadSpec,
 )
 from repro.sampling.batch import BatchRejectionSampler
-from repro.sampling.reweight import importance_reweight, residual_resample
+from repro.sampling.reweight import (
+    ess_deficit,
+    importance_reweight,
+    residual_resample,
+)
 from repro.service import (
     AdaptationConfig,
     AdaptationStats,
@@ -128,6 +132,7 @@ __all__ = [
     "MetropolisHastingsSampler",
     "TopKPackageSearcher",
     "BatchTopKPackageSearcher",
+    "CandidateCarryover",
     "PackageSearchResult",
     "brute_force_top_k_packages",
     "load_benchmark_dataset",
@@ -145,6 +150,7 @@ __all__ = [
     "DispatcherClosedError",
     "DispatcherOverloadedError",
     "BatchRejectionSampler",
+    "ess_deficit",
     "importance_reweight",
     "residual_resample",
     "AdaptationConfig",

@@ -22,6 +22,7 @@ from repro.sampling.ens import (
 from repro.sampling.constraints import ConstraintChecker
 from repro.sampling.reweight import (
     downweight_violators,
+    ess_deficit,
     importance_reweight,
     pool_effective_sample_size,
     residual_resample,
@@ -33,6 +34,7 @@ from repro.sampling.maintenance import (
     NaiveMaintenance,
     SampleMaintainer,
     ThresholdMaintenance,
+    partial_refill_split,
 )
 
 __all__ = [
@@ -50,10 +52,12 @@ __all__ = [
     "chi_square_distance",
     "ConstraintChecker",
     "downweight_violators",
+    "ess_deficit",
     "importance_reweight",
     "pool_effective_sample_size",
     "residual_resample",
     "violation_weight_factors",
+    "partial_refill_split",
     "SampleMaintainer",
     "NaiveMaintenance",
     "ThresholdMaintenance",

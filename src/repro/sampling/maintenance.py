@@ -35,11 +35,45 @@ from typing import List, Optional, Set
 import numpy as np
 
 from repro.sampling.base import ConstraintSet, SamplePool, Sampler
+from repro.sampling.reweight import (
+    ess_deficit,
+    importance_reweight,
+    pool_effective_sample_size,
+)
 from repro.utils.validation import (
     require_matrix,
     require_probability,
     require_vector,
 )
+
+
+def partial_refill_split(
+    pool: SamplePool,
+    constraints: ConstraintSet,
+    psi: float,
+    count: int,
+    min_ess_fraction: float,
+) -> tuple:
+    """Split a stale pool into ψ-reweighted survivors plus an ESS fill deficit.
+
+    The hybrid of §3.4 maintenance and §7 reweighting the serving layer's
+    ``_build_pool`` fuses: instead of choosing between *keep the survivors,
+    top up the violators* (hard maintenance) and *reweight everything, accept
+    or reject wholesale* (adaptation), reweight the stale pool under the §7
+    noise model and compute how many fresh unit-weight draws are needed to
+    lift its Kish ESS to ``min_ess_fraction × count``.  Returns
+    ``(reweighted_pool, deficit)`` with ``deficit`` capped at ``count``;
+    returns ``(None, count)`` when no mass survives reweighting (the caller
+    should fall back to a full from-scratch fill).
+    """
+    if count <= 0:
+        raise ValueError(f"count must be > 0, got {count}")
+    require_probability(min_ess_fraction, "min_ess_fraction")
+    reweighted = importance_reweight(pool, constraints, psi)
+    if pool_effective_sample_size(reweighted) <= 0.0:
+        return None, count
+    deficit = ess_deficit(reweighted, min_ess_fraction * count)
+    return reweighted, min(deficit, count)
 
 
 @dataclass

@@ -44,6 +44,7 @@ __all__ = [
     "downweight_violators",
     "residual_resample",
     "pool_effective_sample_size",
+    "ess_deficit",
 ]
 
 
@@ -128,6 +129,49 @@ def residual_resample(
     stats = dict(pool.stats)
     stats["residual_resampled_from"] = pool.size
     return SamplePool.unweighted(pool.samples[indices], stats)
+
+
+def ess_deficit(pool_or_weights, target_ess: float) -> int:
+    """Fewest fresh unit-weight draws lifting the pool's Kish ESS to ``target_ess``.
+
+    Appending ``d`` unit-weight samples to a pool with weight sums
+    ``S1 = Σ w_i`` and ``S2 = Σ w_i²`` gives ``ESS' = (S1 + d)² / (S2 + d)``
+    (fresh draws from the current posterior carry weight 1 after the survivors
+    are normalised so their mean weight is 1).  The smallest integer ``d``
+    with ``ESS' ≥ target_ess`` solves the quadratic
+    ``d² + (2·S1 − t)·d + (S1² − t·S2) ≥ 0``.  Returns 0 when the pool
+    already meets the target; callers cap the result at the full pool size
+    (at which point a from-scratch fill is cheaper anyway).
+    """
+    weights = (
+        pool_or_weights.weights
+        if isinstance(pool_or_weights, SamplePool)
+        else np.asarray(pool_or_weights, dtype=float)
+    )
+    target = float(target_ess)
+    if target <= 0.0:
+        return 0
+    if ens_from_weights(weights) >= target:
+        return 0
+    # Normalise survivor weights to mean 1 so fresh draws (weight 1) are on
+    # the same scale; ESS is scale-invariant so this changes nothing else.
+    total = float(np.sum(weights))
+    if total <= 0.0:
+        # No surviving mass at all: the target must be met entirely by fresh
+        # draws, each contributing one full effective sample.
+        return int(np.ceil(target))
+    scaled = weights * (weights.shape[0] / total)
+    s1 = float(np.sum(scaled))
+    s2 = float(np.sum(scaled * scaled))
+    b = 2.0 * s1 - target
+    c = s1 * s1 - target * s2
+    disc = b * b - 4.0 * c
+    deficit = int(np.ceil((-b + np.sqrt(max(disc, 0.0))) / 2.0))
+    deficit = max(deficit, 0)
+    # Guard the ceil against float fuzz at the root.
+    while (s1 + deficit) ** 2 < target * (s2 + deficit):
+        deficit += 1
+    return deficit
 
 
 def pool_effective_sample_size(pool_or_weights) -> float:

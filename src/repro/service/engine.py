@@ -67,8 +67,10 @@ from repro.sampling.base import ConstraintSet, SamplePool, Sampler
 from repro.sampling.batch import BatchRejectionSampler
 from repro.sampling.gaussian_mixture import GaussianMixture
 from repro.sampling.importance import ImportanceSampler
+from repro.sampling.maintenance import partial_refill_split
 from repro.sampling.mcmc import MetropolisHastingsSampler
 from repro.sampling.rejection import RejectionSampler
+from repro.sampling.reweight import residual_resample
 from repro.service.adaptation import (
     AdaptationConfig,
     ConstraintSimilarityIndex,
@@ -91,7 +93,7 @@ from repro.service.pool_repository import (
     WarmStartReport,
     build_shard_backend,
 )
-from repro.topk.batch_search import BatchTopKPackageSearcher
+from repro.topk.batch_search import BatchTopKPackageSearcher, CandidateCarryover
 from repro.service.session_manager import (
     SessionEntry,
     SessionExpiredError,
@@ -193,6 +195,38 @@ class EngineConfig:
         batch — instead of one batch search per pool.  Requires the pool and
         top-k caches plus ``use_batch_search`` in the elicitation config;
         without them the per-session path is used.
+    search_carryover:
+        Cross-round candidate carryover (incremental search): the engine's
+        batch searcher keeps a bounded
+        :class:`~repro.topk.batch_search.CandidateCarryover` cache of the
+        candidate packages each pool-key's search discovered, and a session's
+        post-click search is seeded from its pre-click key's candidates.
+        Seeds are *hints* — every carried candidate is re-scored under the
+        new weight vectors and the η/τ bound machinery runs unchanged — so
+        results are exact (bit-identical to an uncached search); only the
+        sorted-list walk shortens.  Default on.
+    partial_refill:
+        ESS-deficit partial refill (incremental sampling): on a pool miss
+        after feedback, instead of the all-or-nothing choice between §3.4
+        hard maintenance and full resampling, reweight the stale pool's
+        samples under the §7 noise model ψ, compute the Kish-ESS deficit
+        against ``refill_min_ess_fraction × num_samples``, and draw only
+        that many fresh key-deterministic samples.  Changes pool *content*
+        (a reweighted-survivor mix rather than the maintained/fresh build),
+        so it defaults off; the content is deterministic given the session
+        history, and checkpoints carry a refill audit record so replay can
+        detect tampering.  Requires a resolvable ψ (``refill_psi`` or the
+        elicitation ``noise_psi``).
+    refill_psi:
+        Noise probability used by the partial-refill reweighting; ``None``
+        falls back to the elicitation config's ``noise_psi``.
+    refill_min_ess_fraction:
+        Partial refill tops the reweighted survivors up until their Kish ESS
+        reaches this fraction of ``num_samples`` (in ``(0, 1]``).
+    refill_max_pool_multiple:
+        Merged refill pools larger than this multiple of ``num_samples`` are
+        residual-resampled back down to ``num_samples`` (deterministically,
+        by pool key) to bound memory; must be ``>= 1``.
     warm_start_first_clicks:
         When not ``None``, run :meth:`RecommendationEngine.warm_start` at
         construction: pin the empty-prefix pool plus the pools of the top
@@ -216,6 +250,11 @@ class EngineConfig:
     maintain_on_miss: bool = True
     pool_adaptation: Optional[AdaptationConfig] = None
     batch_search_across_sessions: bool = True
+    search_carryover: bool = True
+    partial_refill: bool = False
+    refill_psi: Optional[float] = None
+    refill_min_ess_fraction: float = 0.5
+    refill_max_pool_multiple: float = 2.0
     warm_start_first_clicks: Optional[int] = None
     seed: Optional[int] = 0
 
@@ -251,6 +290,25 @@ class EngineConfig:
                 "pool_adaptation requires pool_cache_size > 0 "
                 "(donor pools are found among live repository keys)"
             )
+        if not 0.0 < self.refill_min_ess_fraction <= 1.0:
+            raise ValueError(
+                f"refill_min_ess_fraction must be in (0, 1], "
+                f"got {self.refill_min_ess_fraction}"
+            )
+        if self.refill_max_pool_multiple < 1.0:
+            raise ValueError(
+                f"refill_max_pool_multiple must be >= 1, "
+                f"got {self.refill_max_pool_multiple}"
+            )
+        if self.refill_psi is not None and not 0.0 <= self.refill_psi <= 1.0:
+            raise ValueError(
+                f"refill_psi must be in [0, 1] or None, got {self.refill_psi}"
+            )
+        if self.partial_refill and self.refill_noise_psi is None:
+            raise ValueError(
+                "partial_refill requires a noise model: set refill_psi or "
+                "the elicitation config's noise_psi"
+            )
 
     @property
     def sharing_enabled(self) -> bool:
@@ -259,6 +317,15 @@ class EngineConfig:
             self.pool_cache_size > 0
             or self.topk_cache_size > 0
             or self.use_batch_sampler
+        )
+
+    @property
+    def refill_noise_psi(self) -> Optional[float]:
+        """The ψ partial refill reweights under (explicit, else elicitation's)."""
+        return (
+            self.refill_psi
+            if self.refill_psi is not None
+            else self.elicitation.noise_psi
         )
 
 
@@ -285,6 +352,13 @@ class EngineStats:
     adaptation: dict = field(default_factory=dict)
     sessions_replayed: int = 0
     eventlog: dict = field(default_factory=dict)
+    #: Total pools the engine built (sampled + maintained + adapted +
+    #: partial-refilled); warm-start pins fill through the repository
+    #: directly and are counted by ``pools_warmed`` alone.
+    pools_built: int = 0
+    pools_partial_refilled: int = 0
+    candidates_carried: int = 0
+    carryover: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         return {
@@ -307,6 +381,10 @@ class EngineStats:
             "adaptation": dict(self.adaptation),
             "sessions_replayed": self.sessions_replayed,
             "eventlog": dict(self.eventlog),
+            "pools_built": self.pools_built,
+            "pools_partial_refilled": self.pools_partial_refilled,
+            "candidates_carried": self.candidates_carried,
+            "carryover": dict(self.carryover),
         }
 
 
@@ -420,6 +498,9 @@ class RecommendationEngine:
             predicates=predicates,
             beam_width=elicitation.search_beam_width,
             max_items_accessed=elicitation.search_items_cap,
+            carryover=(
+                CandidateCarryover() if self.config.search_carryover else None
+            ),
         )
         self.sessions = SessionManager(
             max_active=self.config.max_active_sessions,
@@ -442,6 +523,8 @@ class RecommendationEngine:
         self.pools_maintained = 0
         self.pools_adapted = 0
         self.pools_warmed = 0
+        self.pools_built = 0
+        self.pools_partial_refilled = 0
         self.topk_batched_pools = 0
         if self.config.warm_start_first_clicks is not None:
             self.warm_start(self.config.warm_start_first_clicks)
@@ -618,9 +701,19 @@ class RecommendationEngine:
         count: int,
         stale: Optional[SamplePool],
     ) -> SamplePool:
+        self.pools_built += 1
         adapted = self._adapt_pool(key, constraints, count)
         if adapted is not None:
             return adapted
+        refill = self._partial_refill_plan(constraints, count, stale)
+        if refill is not None:
+            surviving, deficit = refill
+            fresh = (
+                self.pool_repository.fill_one(key, constraints, deficit)
+                if deficit > 0
+                else None
+            )
+            return self._finish_partial_refill(key, surviving, fresh, count, deficit)
         surviving, deficit = self._maintenance_split(constraints, count, stale)
         if surviving is not None:
             self.pools_maintained += 1
@@ -631,6 +724,84 @@ class RecommendationEngine:
             )
         self.pools_sampled += 1
         return self.pool_repository.fill_one(key, constraints, count)
+
+    def _partial_refill_plan(
+        self,
+        constraints: ConstraintSet,
+        count: int,
+        stale: Optional[SamplePool],
+    ):
+        """ψ-reweighted survivors + ESS fill deficit, or ``None`` for the old path.
+
+        The hybrid of §3.4 maintenance and §7 reweighting: keep *every* stale
+        sample at its noise-model importance weight ``(1 − ψ)^x`` and sample
+        only the fresh draws needed to lift the pool's Kish ESS back over
+        ``refill_min_ess_fraction × count``.  Falls back (returns ``None``)
+        when disabled, when there is no stale pool to refill, or when no
+        stale mass survives reweighting (a from-scratch fill is then both
+        cheaper and statistically necessary).
+        """
+        if not self.config.partial_refill:
+            return None
+        psi = self.config.refill_noise_psi
+        if psi is None or stale is None or stale.size == 0:
+            return None
+        if constraints.is_empty():
+            return None
+        surviving, deficit = partial_refill_split(
+            stale, constraints, psi, count, self.config.refill_min_ess_fraction
+        )
+        if surviving is None:
+            return None
+        return surviving, deficit
+
+    def _finish_partial_refill(
+        self,
+        key: str,
+        surviving: SamplePool,
+        fresh: Optional[SamplePool],
+        count: int,
+        deficit: int,
+    ) -> SamplePool:
+        """Merge reweighted survivors with the deficit fill, digest-stably.
+
+        Both sides are scaled to mean weight 1 before merging — the scale the
+        ESS-deficit arithmetic assumed (survivor importance weights are only
+        defined up to a constant; fresh draws from the target posterior carry
+        unit weight) — so the merged pool's Kish ESS is the one the deficit
+        was solved for.  Oversized merges are residual-resampled back to
+        ``count`` with a key-derived RNG, keeping the content a deterministic
+        function of (engine seed, pool key, session history).
+        """
+        self.pools_partial_refilled += 1
+        pool = self._unit_mean_weights(surviving)
+        if fresh is not None:
+            pool = pool.concatenate(self._unit_mean_weights(fresh))
+        cap = int(np.ceil(self.config.refill_max_pool_multiple * count))
+        if pool.size > cap:
+            pool = residual_resample(pool, count, rng=self._refill_rng(key))
+        pool.stats["partial_refill"] = {
+            "deficit": int(deficit),
+            "survivors": int(surviving.size),
+        }
+        return pool
+
+    @staticmethod
+    def _unit_mean_weights(pool: SamplePool) -> SamplePool:
+        """The same pool with weights scaled to mean 1 (ESS-invariant)."""
+        total = float(np.sum(pool.weights))
+        if total <= 0.0:
+            return pool
+        return SamplePool(
+            pool.samples, pool.weights * (pool.size / total), dict(pool.stats)
+        )
+
+    def _refill_rng(self, key: str) -> np.random.Generator:
+        """Key-derived RNG for refill downsampling (same discipline as fills)."""
+        digest = hashlib.blake2b(
+            f"pool-refill:{self._fill_seed_root}:{key}".encode(), digest_size=16
+        ).digest()
+        return np.random.default_rng(int.from_bytes(digest, "big"))
 
     def _adapt_pool(
         self, key: str, constraints: ConstraintSet, count: int
@@ -762,7 +933,7 @@ class RecommendationEngine:
                 else:
                     cached = self._topk_cache.get(key)
                 if cached is None:
-                    recommended = recommender.current_top_k()
+                    recommended = self._session_top_k(entry, pool)
                     self._topk_cache.put(key, tuple(recommended))
                 else:
                     recommended = list(cached)
@@ -835,6 +1006,9 @@ class RecommendationEngine:
                 )
             clicked = presented[index]
         added = recommender.feedback(clicked)
+        # The click invalidates the session's pool key; remember the pre-click
+        # key so the next round's search can seed from its candidates.
+        entry.carry_key = entry.pool_key
         entry.feedback_events += 1
         entry.dirty = True
         self.feedback_events += 1
@@ -843,6 +1017,42 @@ class RecommendationEngine:
                 session_id, clicked=[int(i) for i in clicked.items]
             )
         return added
+
+    def _session_top_k(
+        self, entry: SessionEntry, pool: SamplePool
+    ) -> List[Package]:
+        """A session's ranked top-k, seeded from its pre-click candidates.
+
+        Identical construction to
+        :meth:`PackageRecommender.current_top_k` — same searched sample rows,
+        same searcher parameters, same weighted ranking — run through the
+        engine's shared batch searcher so the session's previous round can
+        seed the walk: ``carry_in`` is the pool key of the last round the
+        session gave feedback on, ``carry_out`` parks this round's
+        candidates for the post-click search.  Carried candidates are
+        re-validated, so the ranked list is exactly the one the session
+        would have computed itself.
+        """
+        recommender = entry.recommender
+        if (
+            self.batch_searcher.carryover is None
+            or not recommender.config.use_batch_search
+            or entry.pool_key is None
+        ):
+            return recommender.current_top_k()
+        indices = recommender.search_sample_indices(pool)
+        results = self.batch_searcher.search_pools(
+            [pool.samples[indices]],
+            recommender.config.k,
+            carry_in=[entry.carry_key],
+            carry_out=[entry.pool_key],
+        )[0]
+        return rank_from_samples(
+            results,
+            recommender.config.k,
+            recommender.config.semantics,
+            sample_weights=pool.weights[indices],
+        )
 
     def _topk_key_for(
         self, pool_key: Optional[str], pool: SamplePool, config: ElicitationConfig
@@ -895,6 +1105,11 @@ class RecommendationEngine:
                 "weights": pool.weights[indices],
                 "k": recommender.config.k,
                 "semantics": recommender.config.semantics,
+                # Carryover hints for the concatenated walk: seed this pool's
+                # queries from the first grouped session's pre-click key and
+                # park the discovered candidates under the pool key.
+                "carry_in": entry.carry_key,
+                "carry_out": entry.pool_key,
             }
         if not groups:
             return set()
@@ -903,7 +1118,10 @@ class RecommendationEngine:
             by_k.setdefault(group["k"], []).append(key)
         for k, keys in by_k.items():
             per_pool = self.batch_searcher.search_pools(
-                [groups[key]["matrix"] for key in keys], k
+                [groups[key]["matrix"] for key in keys],
+                k,
+                carry_in=[groups[key]["carry_in"] for key in keys],
+                carry_out=[groups[key]["carry_out"] for key in keys],
             )
             for key, results in zip(keys, per_pool):
                 group = groups[key]
@@ -931,19 +1149,33 @@ class RecommendationEngine:
             )
             if group["stale"] is None and recommender.stale_pool is not None:
                 group["stale"] = recommender.stale_pool
-        jobs = []  # (key, constraints, surviving, deficit)
+        jobs = []  # (key, constraints, mode, surviving, deficit, count)
         for key, group in groups.items():
             if key in self.pool_repository:
                 continue
+            self.pools_built += 1
             adapted = self._adapt_pool(key, group["constraints"], group["count"])
             if adapted is not None:
                 self.pool_repository.put(key, self._stamp_pool(adapted))
                 self._freshly_prefetched.add(key)
                 continue
+            refill = self._partial_refill_plan(
+                group["constraints"], group["count"], group["stale"]
+            )
+            if refill is not None:
+                surviving, deficit = refill
+                jobs.append(
+                    (key, group["constraints"], "refill", surviving, deficit,
+                     group["count"])
+                )
+                continue
             surviving, deficit = self._maintenance_split(
                 group["constraints"], group["count"], group["stale"]
             )
-            jobs.append((key, group["constraints"], surviving, deficit))
+            jobs.append(
+                (key, group["constraints"], "maintain", surviving, deficit,
+                 group["count"])
+            )
         if not jobs:
             return
         # One repository fill batch for every pending deficit: jobs group per
@@ -952,12 +1184,20 @@ class RecommendationEngine:
         fresh_by_key = self.pool_repository.fill_many(
             [
                 PoolFillJob(key, constraints, deficit)
-                for key, constraints, _surviving, deficit in jobs
+                for key, constraints, _mode, _surviving, deficit, _count in jobs
                 if deficit > 0
             ]
         )
-        for key, _constraints, surviving, deficit in jobs:
-            if surviving is not None:
+        for key, _constraints, mode, surviving, deficit, count in jobs:
+            if mode == "refill":
+                pool = self._finish_partial_refill(
+                    key,
+                    surviving,
+                    fresh_by_key[key] if deficit > 0 else None,
+                    count,
+                    deficit,
+                )
+            elif surviving is not None:
                 self.pools_maintained += 1
                 pool = (
                     surviving
@@ -1043,7 +1283,20 @@ class RecommendationEngine:
             }
         pool_digest = self._pool_digest(pool)
         self._persist_pool(self._pool_store_key(entry.pool_key, pool_digest), pool)
-        return {"key": entry.pool_key, "digest": pool_digest}
+        payload = {"key": entry.pool_key, "digest": pool_digest}
+        refill = pool.stats.get("partial_refill")
+        if refill is not None:
+            # Deficit-fill audit record: a partial-refill pool's content
+            # depends on session history (the reweighted survivors), so it
+            # can never be silently re-derived from the key alone.  Restore
+            # verifies the resolved pool against this record and raises
+            # ReplayDivergenceError on tampering or loss.
+            payload["refill"] = {
+                "deficit": int(refill.get("deficit", 0)),
+                "survivors": int(refill.get("survivors", 0)),
+                "size": int(pool.size),
+            }
+        return payload
 
     def _checkpoint_entry(self, entry: SessionEntry) -> dict:
         """The event-log checkpoint of a replayable session.
@@ -1248,6 +1501,27 @@ class RecommendationEngine:
                     # Share it forward — but never clobber a different build
                     # other live sessions are currently working against.
                     self.pool_repository.put(key, pool)
+        refill = pool_payload.get("refill")
+        if refill is not None:
+            # A partial-refill pool is history-dependent: the lazy
+            # "re-sample by key on next use" fallback would produce a
+            # *different* pool, so an unresolvable (or size-inconsistent)
+            # deficit-fill record is divergence, not a cache miss.
+            if pool is None:
+                raise ReplayDivergenceError(
+                    f"session {entry.session_id!r}: the checkpointed "
+                    f"partial-refill pool {key!r} (digest "
+                    f"{pool_payload.get('digest')!r}) cannot be resolved "
+                    f"from the repository or the store — its deficit-fill "
+                    f"record was tampered with or its payload was lost"
+                )
+            if int(refill.get("size", pool.size)) != pool.size:
+                raise ReplayDivergenceError(
+                    f"session {entry.session_id!r}: the resolved pool for "
+                    f"{key!r} has {pool.size} samples but its deficit-fill "
+                    f"record claims {refill.get('size')} — the checkpoint "
+                    f"was tampered with"
+                )
         if pool is not None:
             recommender.set_pool(pool)
         # else: leave the pool pending; the provider fills it lazily.
@@ -1357,5 +1631,17 @@ class RecommendationEngine:
             sessions_replayed=self.sessions_replayed,
             eventlog=(
                 self.event_log.describe() if self.event_log is not None else {}
+            ),
+            pools_built=self.pools_built,
+            pools_partial_refilled=self.pools_partial_refilled,
+            candidates_carried=(
+                self.batch_searcher.carryover.candidates_carried
+                if self.batch_searcher.carryover is not None
+                else 0
+            ),
+            carryover=(
+                self.batch_searcher.carryover.as_dict()
+                if self.batch_searcher.carryover is not None
+                else {}
             ),
         )

@@ -756,3 +756,191 @@ class TestPrefixMiningWarmStart:
         engine = make_engine(serving_catalog, serving_profile)
         with pytest.raises(ValueError, match="EventLogStore"):
             engine.warm_start_from_log()
+
+
+# ===================================== partial-refill replay (incremental PR)
+def refill_engine(catalog, profile, store=None, **overrides):
+    """An engine with ESS-deficit partial refill on (refill needs a ψ)."""
+    return make_engine(
+        catalog,
+        profile,
+        store=store,
+        elicitation=fast_elicitation_config(noise_psi=0.9),
+        partial_refill=True,
+        **overrides,
+    )
+
+
+class TestPartialRefillReplay:
+    """Replay interaction of the ESS-deficit partial-refill fast path.
+
+    A partial-refill pool's content depends on session history (the
+    reweighted survivors of the previous build), so it can never be
+    re-derived from its fingerprint key alone.  Checkpoints therefore carry
+    a deficit-fill audit record; replay must restore the exact build through
+    the content-addressed pool table and treat an unresolvable or
+    inconsistent record as divergence, not as a cache miss.
+    """
+
+    def checkpointed_workload(self, catalog, profile, tmp_path, rounds=2):
+        """A refill workload where every swap-out checkpoints a refill pool.
+
+        max_active=1 with two interleaved sessions: each acquire evicts the
+        other session right after its click, so the checkpoint materialises
+        the post-click pool — built by partial refill from the stale build.
+        """
+        store = log_store(tmp_path)
+        engine = refill_engine(
+            catalog, profile, store=store, max_active_sessions=1
+        )
+        sids = [engine.create_session(seed=300 + i) for i in range(2)]
+        run_workload(engine, sids, rounds=rounds)
+        assert engine.pools_partial_refilled > 0
+        store.close()
+        return sids
+
+    def tampered_records(self, reopened, mutate):
+        """Apply ``mutate`` to every refill-bearing checkpoint; return sids."""
+        tampered = []
+        for sid, record in reopened._records.items():
+            checkpoint = record.checkpoint
+            if checkpoint is None:
+                continue
+            refill = (checkpoint.get("pool") or {}).get("refill")
+            if refill is not None:
+                mutate(checkpoint["pool"])
+                tampered.append(sid)
+        return tampered
+
+    def test_swap_out_replay_serves_bit_identical_refill_rounds(
+        self, serving_catalog, serving_profile, tmp_path
+    ):
+        # Mirror of the plain swap-out replay test with partial refill on:
+        # restored-via-replay sessions must serve the same rounds as a
+        # never-swapped reference, including rounds whose pools were built
+        # by deficit fill rather than a full resample.
+        store = log_store(tmp_path)
+        engine = refill_engine(
+            serving_catalog, serving_profile, store=store, max_active_sessions=2
+        )
+        reference = refill_engine(serving_catalog, serving_profile)
+        sids = [engine.create_session(seed=300 + i) for i in range(4)]
+        rids = [reference.create_session(seed=300 + i) for i in range(4)]
+        for _ in range(3):
+            for sid, rid in zip(sids, rids):
+                assert presented_items(engine.recommend(sid)) == presented_items(
+                    reference.recommend(rid)
+                )
+                engine.feedback(sid, 0)
+                reference.feedback(rid, 0)
+        for sid, rid in zip(sids, rids):
+            assert presented_items(engine.recommend(sid)) == presented_items(
+                reference.recommend(rid)
+            )
+        assert engine.pools_partial_refilled > 0
+        assert engine.sessions_replayed > 0
+        assert engine.sessions.sessions_swapped_out > 0
+        store.close()
+
+    def test_restart_replay_of_refill_sessions_matches_reference(
+        self, serving_catalog, serving_profile, tmp_path
+    ):
+        store = log_store(tmp_path)
+        engine = refill_engine(
+            serving_catalog, serving_profile, store=store, max_active_sessions=2
+        )
+        reference = refill_engine(serving_catalog, serving_profile)
+        sids = [engine.create_session(seed=300 + i) for i in range(3)]
+        rids = [reference.create_session(seed=300 + i) for i in range(3)]
+        run_workload(engine, sids)
+        run_workload(reference, rids)
+        assert engine.pools_partial_refilled > 0
+        store.close()  # clean shutdown
+
+        restarted_store = log_store(tmp_path)
+        restarted = refill_engine(
+            serving_catalog,
+            serving_profile,
+            store=restarted_store,
+            max_active_sessions=2,
+        )
+        for sid, rid in zip(sids, rids):
+            assert presented_items(restarted.recommend(sid)) == presented_items(
+                reference.recommend(rid)
+            )
+        assert restarted.sessions_replayed == 3
+        restarted_store.close()
+
+    def test_checkpoints_carry_the_deficit_fill_audit_record(
+        self, serving_catalog, serving_profile, tmp_path
+    ):
+        self.checkpointed_workload(serving_catalog, serving_profile, tmp_path)
+        reopened = log_store(tmp_path)
+        audits = [
+            (record.checkpoint.get("pool") or {}).get("refill")
+            for record in reopened._records.values()
+            if record.checkpoint is not None
+        ]
+        audits = [a for a in audits if a is not None]
+        assert audits, "no checkpoint carried a deficit-fill audit record"
+        for audit in audits:
+            assert audit["survivors"] > 0
+            assert audit["deficit"] >= 0
+            assert audit["size"] > 0
+        reopened.close()
+
+    def test_untampered_reopen_restores_refill_sessions(
+        self, serving_catalog, serving_profile, tmp_path
+    ):
+        # Control for the tamper tests: the identical reopen path without
+        # any mutation restores every refill session cleanly.
+        sids = self.checkpointed_workload(
+            serving_catalog, serving_profile, tmp_path
+        )
+        reopened = log_store(tmp_path)
+        restarted = refill_engine(
+            serving_catalog, serving_profile, store=reopened
+        )
+        for sid in sids:
+            assert presented_items(restarted.recommend(sid))
+        assert restarted.sessions_replayed == len(sids)
+        reopened.close()
+
+    def test_tampered_refill_size_raises_divergence(
+        self, serving_catalog, serving_profile, tmp_path
+    ):
+        self.checkpointed_workload(serving_catalog, serving_profile, tmp_path)
+        reopened = log_store(tmp_path)
+
+        def grow_size(pool_payload):
+            pool_payload["refill"]["size"] += 1
+
+        tampered = self.tampered_records(reopened, grow_size)
+        assert tampered
+        restarted = refill_engine(
+            serving_catalog, serving_profile, store=reopened
+        )
+        with pytest.raises(ReplayDivergenceError, match="deficit-fill"):
+            restarted.recommend(tampered[0])
+        reopened.close()
+
+    def test_tampered_refill_digest_raises_divergence(
+        self, serving_catalog, serving_profile, tmp_path
+    ):
+        # A bogus digest makes the checkpointed build unresolvable from the
+        # content-addressed pool table.  For an ordinary pool that is a
+        # silent lazy re-fill; for a refill pool it must be divergence.
+        self.checkpointed_workload(serving_catalog, serving_profile, tmp_path)
+        reopened = log_store(tmp_path)
+
+        def scramble_digest(pool_payload):
+            pool_payload["digest"] = "0" * len(pool_payload["digest"])
+
+        tampered = self.tampered_records(reopened, scramble_digest)
+        assert tampered
+        restarted = refill_engine(
+            serving_catalog, serving_profile, store=reopened
+        )
+        with pytest.raises(ReplayDivergenceError, match="cannot be resolved"):
+            restarted.recommend(tampered[0])
+        reopened.close()
