@@ -17,8 +17,10 @@ The public API re-exports the pieces most users need:
 * the online serving engine: :class:`RecommendationEngine`,
   :class:`EngineConfig`, :class:`TrafficSimulator`, and its
   fingerprint-partitioned pool state layer :class:`ShardedPoolRepository`
-  with :class:`WarmStartPlanner` and the approximate pool-reuse subsystem
-  :class:`PoolAdapter` (:class:`AdaptationConfig`);
+  with :class:`WarmStartPlanner`, the picklable fill seam :class:`FillSpec`
+  with the process-parallel :class:`ProcessShardBackend`, and the
+  approximate pool-reuse subsystem :class:`PoolAdapter`
+  (:class:`AdaptationConfig`);
 * the async front-end: :class:`AsyncRecommendationServer`,
   :class:`MicroBatchDispatcher`, :class:`AsyncTrafficSimulator`.
 
@@ -74,8 +76,10 @@ from repro.service import (
     AdaptationConfig,
     AdaptationStats,
     ConstraintSimilarityIndex,
+    FillSpec,
     PoolAdapter,
     PoolUnavailableError,
+    ProcessShardBackend,
     AsyncRecommendationServer,
     DispatcherClosedError,
     DispatcherOverloadedError,
@@ -165,7 +169,9 @@ __all__ = [
     "SessionNotFoundError",
     "SessionExpiredError",
     "SamplePoolCache",
+    "FillSpec",
     "PoolRepository",
+    "ProcessShardBackend",
     "ShardedPoolRepository",
     "WarmStartPlanner",
     "MemorySessionStore",

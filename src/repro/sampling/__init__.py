@@ -14,6 +14,16 @@ from repro.sampling.rejection import RejectionSampler
 from repro.sampling.importance import ImportanceSampler, ImportanceSamplingIntractableError
 from repro.sampling.mcmc import MetropolisHastingsSampler
 from repro.sampling.batch import BatchRejectionSampler
+from repro.sampling.fillspec import (
+    FillContext,
+    FillSpec,
+    PriorSpec,
+    build_sampler,
+    derive_fill_seed,
+    execute_fill,
+    register_fill_context,
+    register_sampler_builder,
+)
 from repro.sampling.ens import (
     effective_number_of_samples,
     ens_from_weights,
@@ -47,6 +57,14 @@ __all__ = [
     "ImportanceSamplingIntractableError",
     "MetropolisHastingsSampler",
     "BatchRejectionSampler",
+    "FillContext",
+    "FillSpec",
+    "PriorSpec",
+    "build_sampler",
+    "derive_fill_seed",
+    "execute_fill",
+    "register_fill_context",
+    "register_sampler_builder",
     "effective_number_of_samples",
     "ens_from_weights",
     "chi_square_distance",

@@ -16,10 +16,14 @@ identical therefore share one pool and one top-k result, keyed by a canonical
   across pending sessions.
 * :class:`PoolRepository` / :class:`ShardedPoolRepository` — the
   fingerprint-partitioned pool state layer: pool keys consistent-hash across
-  N shards, each owning its pools, LRU budget, pinned set and sampler
+  N shards, each owning its pools, LRU budget, pinned set and fill
   construction, with fills grouped per shard and runnable in parallel via a
-  :class:`ShardBackend` (inline or threads).  Fills are key-deterministic, so
-  shard count never changes what is served.
+  :class:`ShardBackend` (inline, threads, or worker processes).  Each fill is
+  described by a picklable :class:`~repro.sampling.fillspec.FillSpec` —
+  plain data resolved by the module-level ``build_sampler`` — which is what
+  lets :class:`ProcessShardBackend` ship fills across the process boundary
+  and escape the GIL.  Fills are key-deterministic, so shard count, backend,
+  and placement never change what is served.
 * :class:`WarmStartPlanner` — precomputes and pins the empty-prefix pool and
   the top-K first-click pools at engine start so cold sessions never sample.
 * :class:`PoolAdapter` + :class:`ConstraintSimilarityIndex` (approximate pool
@@ -83,6 +87,7 @@ from repro.service.eventlog import (
     RetentionReport,
     mine_click_prefixes,
 )
+from repro.sampling.fillspec import FillContext, FillSpec, build_sampler, execute_fill
 from repro.service.pool_cache import CacheStats, LruCache, SamplePoolCache
 from repro.service.pool_repository import (
     InlineShardBackend,
@@ -90,12 +95,15 @@ from repro.service.pool_repository import (
     PoolFillJob,
     PoolRepository,
     PoolShard,
+    ProcessShardBackend,
+    SHARD_BACKEND_NAMES,
     ShardBackend,
     ShardedPoolRepository,
     ThreadShardBackend,
     WarmStartPlanner,
     WarmStartReport,
     build_shard_backend,
+    parse_shard_backend,
 )
 from repro.service.store import (
     JsonSessionStore,
@@ -129,17 +137,24 @@ __all__ = [
     "CacheStats",
     "LruCache",
     "SamplePoolCache",
+    "FillContext",
+    "FillSpec",
     "InlineShardBackend",
     "LogWarmStartReport",
     "PoolFillJob",
     "PoolRepository",
     "PoolShard",
+    "ProcessShardBackend",
+    "SHARD_BACKEND_NAMES",
     "ShardBackend",
     "ShardedPoolRepository",
     "ThreadShardBackend",
     "WarmStartPlanner",
     "WarmStartReport",
+    "build_sampler",
     "build_shard_backend",
+    "execute_fill",
+    "parse_shard_backend",
     "SessionStore",
     "MemorySessionStore",
     "JsonSessionStore",

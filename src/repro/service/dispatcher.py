@@ -83,6 +83,7 @@ class DispatcherStats:
     requests_shed: int = 0
     requests_degraded: int = 0
     batches_dispatched: int = 0
+    shard_grouped_batches: int = 0
     size_flushes: int = 0
     timer_flushes: int = 0
     drain_flushes: int = 0
@@ -106,6 +107,7 @@ class DispatcherStats:
             "requests_shed": self.requests_shed,
             "requests_degraded": self.requests_degraded,
             "batches_dispatched": self.batches_dispatched,
+            "shard_grouped_batches": self.shard_grouped_batches,
             "size_flushes": self.size_flushes,
             "timer_flushes": self.timer_flushes,
             "drain_flushes": self.drain_flushes,
@@ -280,6 +282,7 @@ class MicroBatchDispatcher:
             except Exception as exc:  # noqa: BLE001 - forwarded to the caller
                 self._reject(future, exc)
             return
+        batch = self._group_by_shard(batch)
         session_ids = [session_id for session_id, _future in batch]
         try:
             rounds = self.engine.recommend_many(session_ids)
@@ -301,6 +304,32 @@ class MicroBatchDispatcher:
             return
         for (_session_id, future), round_ in zip(batch, rounds):
             self._resolve(future, round_)
+
+    def _group_by_shard(
+        self, batch: List[Tuple[str, asyncio.Future]]
+    ) -> List[Tuple[str, asyncio.Future]]:
+        """Order a window's requests by the shard that owns their next fill.
+
+        Engines with a sharded pool repository expose ``fill_shard_plan``:
+        which shard will fill each *pool-missing* session's next round.  The
+        window is stably sorted so those sessions arrive at
+        ``recommend_many`` contiguous per shard — one dispatch hands each
+        shard one already-grouped ``fill_many`` batch.  Sessions with live
+        pools (and engines without the surface) keep arrival order, and
+        fills are key-deterministic, so reordering never changes any served
+        round — only how evenly fill work lands across shard workers.
+        """
+        fill_shard_plan = getattr(self.engine, "fill_shard_plan", None)
+        if fill_shard_plan is None or len(batch) <= 1:
+            return batch
+        plan = fill_shard_plan([session_id for session_id, _future in batch])
+        if len(set(plan.values())) <= 1:
+            return batch  # 0-1 shards involved: nothing to group
+        self.stats.shard_grouped_batches += 1
+        # Pool-missing sessions first, grouped by owning shard; everyone else
+        # (pool already live) after, in arrival order.  sort() is stable, so
+        # arrival order is preserved within every group.
+        return sorted(batch, key=lambda item: plan.get(item[0], float("inf")))
 
     def _resolve(self, future: asyncio.Future, round_) -> None:
         self.stats.requests_completed += 1

@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import hashlib
 import time
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
@@ -65,6 +66,13 @@ from repro.core.profiles import AggregateProfile
 from repro.core.ranking import rank_from_samples
 from repro.sampling.base import ConstraintSet, SamplePool, Sampler
 from repro.sampling.batch import BatchRejectionSampler
+from repro.sampling.fillspec import (
+    FillContext,
+    FillSpec,
+    PriorSpec,
+    derive_fill_seed,
+    register_fill_context,
+)
 from repro.sampling.gaussian_mixture import GaussianMixture
 from repro.sampling.importance import ImportanceSampler
 from repro.sampling.maintenance import partial_refill_split
@@ -87,11 +95,11 @@ from repro.service.pool_cache import LruCache
 from repro.service.pool_repository import (
     PoolFillJob,
     PoolRepository,
-    SHARD_BACKEND_NAMES,
     ShardedPoolRepository,
     WarmStartPlanner,
     WarmStartReport,
     build_shard_backend,
+    parse_shard_backend,
 )
 from repro.topk.batch_search import BatchTopKPackageSearcher, CandidateCarryover
 from repro.service.session_manager import (
@@ -161,8 +169,12 @@ class EngineConfig:
         across.  Results are bit-identical for any shard count; sharding
         changes *where* fills run, never what they produce.
     pool_shard_backend:
-        ``"inline"`` (sequential, default) or ``"thread"`` (one worker per
-        shard; fills for different shards overlap).
+        ``"inline"`` (sequential, default), ``"thread"`` (one worker per
+        shard; fills for different shards overlap but share the GIL), or
+        ``"process"`` (a persistent worker-process pool — fills escape the
+        GIL entirely; see
+        :class:`~repro.service.pool_repository.ProcessShardBackend`).  A
+        ``":N"`` suffix overrides the worker count, e.g. ``"process:4"``.
     topk_cache_size:
         Capacity of the shared top-k result cache; ``0`` disables it.
     use_batch_sampler:
@@ -267,11 +279,10 @@ class EngineConfig:
             raise ValueError("cache sizes must be >= 0")
         if self.pool_shards <= 0:
             raise ValueError(f"pool_shards must be > 0, got {self.pool_shards}")
-        if self.pool_shard_backend not in SHARD_BACKEND_NAMES:
-            raise ValueError(
-                f"pool_shard_backend must be one of {SHARD_BACKEND_NAMES}, "
-                f"got {self.pool_shard_backend!r}"
-            )
+        # Accepts "inline" / "thread" / "process", each optionally suffixed
+        # ":N" to override the worker count; unknown names raise here with
+        # the valid list.
+        parse_shard_backend(self.pool_shard_backend)
         if (
             self.warm_start_first_clicks is not None
             and self.warm_start_first_clicks < 0
@@ -460,11 +471,18 @@ class RecommendationEngine:
             if self.config.seed is not None
             else int(self._seed_rng.integers(0, 2**63 - 1))
         )
+        # The engine's shareable fill state as plain data, registered in the
+        # process-local context registry.  Inline and thread fills resolve it
+        # right back out of the registry; a process backend ships it to its
+        # workers once via their initializer.  Registration is idempotent by
+        # content, so many engines over one prior share one entry.
+        self._fill_context = FillContext(prior=PriorSpec.from_mixture(self.prior))
+        self._fill_context_digest = register_fill_context(self._fill_context)
         if pool_repository is not None:
             self.pool_repository = pool_repository
         else:
             self.pool_repository = ShardedPoolRepository(
-                sampler_factory=self._fill_sampler,
+                spec_factory=self._fill_spec,
                 num_shards=self.config.pool_shards,
                 capacity=self.config.pool_cache_size,
                 backend=build_shard_backend(
@@ -529,9 +547,22 @@ class RecommendationEngine:
         if self.config.warm_start_first_clicks is not None:
             self.warm_start(self.config.warm_start_first_clicks)
 
+    #: One-shot guard for the :attr:`pool_cache` deprecation warning (class
+    #: level: the alias is deprecated once per process, not once per engine).
+    _pool_cache_warned = False
+
     @property
     def pool_cache(self) -> PoolRepository:
         """Deprecated alias for :attr:`pool_repository` (pre-sharding name)."""
+        if not RecommendationEngine._pool_cache_warned:
+            RecommendationEngine._pool_cache_warned = True
+            warnings.warn(
+                "engine.pool_cache is deprecated and will be removed: the "
+                "pool store has been the sharded pool repository since the "
+                "sharding refactor — use engine.pool_repository",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         return self.pool_repository
 
     def close_repository(self) -> None:
@@ -624,21 +655,46 @@ class RecommendationEngine:
             self.pool_adapter.index.register(key, constraints, count)
         return key
 
+    def _fill_spec(
+        self, key: str, constraints: ConstraintSet, count: int
+    ) -> FillSpec:
+        """The picklable description of one pool fill (the repository seam).
+
+        This is the repository's determinism contract in data form: the spec
+        carries the *derived* RNG seed (engine seed root + key) and a digest
+        reference to the engine's registered fill context, so a pool built
+        for ``key`` is the same array no matter which shard builds it, in
+        what order, under which backend, or in which process — sharded and
+        unsharded engines are bit-identical, re-fills after eviction
+        reproduce the evicted pool, and restore-by-reference can rebuild a
+        missing pool exactly (for pools that were built fresh; maintained
+        pools depend on their sessions' history and are persisted, not
+        re-derived).
+        """
+        elicitation = self.config.elicitation
+        return FillSpec.for_fill(
+            key,
+            constraints,
+            count,
+            sampler=(
+                "batch" if self.config.use_batch_sampler else elicitation.sampler
+            ),
+            seed_root=self._fill_seed_root,
+            context_digest=self._fill_context_digest,
+            noise_psi=elicitation.noise_psi,
+            block_size=self.config.batch_block_size,
+            max_blocks=self.config.batch_max_blocks,
+        )
+
     def _fill_sampler(self, key: str) -> Sampler:
         """A fill sampler whose RNG derives from the engine seed and the key.
 
-        This is the repository's determinism contract: a pool built for
-        ``key`` is the same array no matter which shard builds it, in what
-        order, or under which backend — so sharded and unsharded engines are
-        bit-identical, re-fills after eviction reproduce the evicted pool,
-        and restore-by-reference can rebuild a missing pool exactly (for
-        pools that were built fresh; maintained pools depend on their
-        sessions' history and are persisted, not re-derived).
+        The pre-FillSpec sampler construction, kept for the deprecated
+        sampler-factory path (constructed identically to what
+        :func:`~repro.sampling.fillspec.build_sampler` resolves from a spec,
+        so both paths fill bit-identically).
         """
-        digest = hashlib.blake2b(
-            f"pool-fill:{self._fill_seed_root}:{key}".encode(), digest_size=16
-        ).digest()
-        rng = np.random.default_rng(int.from_bytes(digest, "big"))
+        rng = np.random.default_rng(derive_fill_seed(self._fill_seed_root, key))
         elicitation = self.config.elicitation
         if self.config.use_batch_sampler:
             return BatchRejectionSampler(
@@ -1209,6 +1265,41 @@ class RecommendationEngine:
                 pool = fresh_by_key[key]
             self.pool_repository.put(key, self._stamp_pool(pool))
             self._freshly_prefetched.add(key)
+
+    def fill_shard_plan(self, session_ids: Sequence[str]) -> Dict[str, int]:
+        """Which shard owns each session's next pool fill, for dispatch grouping.
+
+        Returns ``{session_id: shard_index}`` for every *pool-missing*
+        session in ``session_ids``: its next round's pool key is absent from
+        the repository, so serving it will trigger a fill on the owning
+        shard.  Sessions whose pool is already live (or pending), sessions
+        not in memory (swapped out — planning must not force a restore), and
+        repositories without shard routing are simply omitted.
+
+        Purely advisory and side-effect free on session state: the
+        micro-batch dispatcher uses it to order each window by owning shard
+        so one ``recommend_many`` hands each shard a contiguous, already
+        grouped ``fill_many`` batch.  Fills are key-deterministic, so any
+        ordering serves bit-identical rounds — this only changes how evenly
+        the fill work lands across shard workers.
+        """
+        plan: Dict[str, int] = {}
+        shard_for = getattr(self.pool_repository, "shard_for", None)
+        if shard_for is None:
+            return plan
+        for session_id in session_ids:
+            entry = self.sessions.peek(session_id)
+            if entry is None:
+                continue
+            recommender = entry.recommender
+            if recommender.pending_pool is not None:
+                continue
+            count = recommender.config.num_samples
+            key = f"n{count}:{recommender.constraints.fingerprint()}"
+            if key in self.pool_repository:
+                continue
+            plan[session_id] = shard_for(key).index
+        return plan
 
     # ======================================================= snapshot / restore
     def snapshot(self, session_id: str, embed_pool: bool = True) -> dict:

@@ -18,11 +18,13 @@ partitions:
   fills for different shards are independent work items that a
   :class:`ShardBackend` can run in parallel.
 * :class:`ShardBackend` — where shard work executes:
-  :class:`InlineShardBackend` (sequential, zero overhead, the default) or
-  :class:`ThreadShardBackend` (one pool of ``num_shards`` workers).  The
-  abstraction also admits a process backend — that requires the sampler
-  factory to be constructed shard-side rather than closed over, which is why
-  the factory is the only engine state a shard holds.
+  :class:`InlineShardBackend` (sequential, zero overhead, the default),
+  :class:`ThreadShardBackend` (one pool of ``num_shards`` workers), or
+  :class:`ProcessShardBackend` (a persistent worker-process pool).  Shards
+  describe fills as picklable :class:`~repro.sampling.fillspec.FillSpec`
+  records rather than closures, which is what lets the process backend ship
+  a fill across the process boundary and resolve it worker-side with the
+  module-level :func:`~repro.sampling.fillspec.build_sampler`.
 * :class:`WarmStartPlanner` — precomputes and **pins** the always-hot pools
   (the empty-prefix pool and the top-K first-click pools) at engine start, so
   cold sessions never sample.
@@ -48,33 +50,62 @@ from __future__ import annotations
 import abc
 import bisect
 import hashlib
-from concurrent.futures import ThreadPoolExecutor
+import multiprocessing
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.sampling.base import ConstraintSet, SamplePool, Sampler
+from repro.sampling.fillspec import (
+    FillContext,
+    FillSpec,
+    execute_fill,
+    get_fill_context,
+    known_fill_contexts,
+    register_fill_context,
+)
 from repro.service.pool_cache import CacheStats, SamplePoolCache
 
 __all__ = [
+    "FillSpecFactory",
     "PoolFillJob",
     "PoolRepository",
     "PoolShard",
+    "SamplerFactory",
     "ShardBackend",
     "InlineShardBackend",
     "ThreadShardBackend",
+    "ProcessShardBackend",
     "ShardedPoolRepository",
     "WarmStartPlanner",
     "WarmStartReport",
     "build_shard_backend",
+    "parse_shard_backend",
 ]
 
-#: Engine-supplied sampler construction: ``factory(pool_key) -> Sampler``.
-#: The factory owns the determinism contract — it must derive the sampler's
-#: RNG from the key so a fill's output is independent of shard placement.
+#: Deprecated engine-supplied sampler construction: ``factory(pool_key) ->
+#: Sampler``.  A closure over the live engine — it executes anywhere
+#: in-process and nowhere else, which is exactly why it was replaced by the
+#: picklable :class:`~repro.sampling.fillspec.FillSpec` seam below.  Still
+#: accepted (with a ``DeprecationWarning``) so existing call sites keep
+#: working on the inline and thread backends.
 SamplerFactory = Callable[[str], Sampler]
 
-#: Names accepted by :func:`build_shard_backend`.
-SHARD_BACKEND_NAMES = ("inline", "thread")
+#: The redesigned fill seam: ``factory(pool_key, constraints, count) ->
+#: FillSpec``.  The factory runs engine-side (it folds the engine's seed root
+#: and context digest into the spec); the spec then resolves anywhere —
+#: inline, a shard thread, or a worker process — via the module-level
+#: :func:`~repro.sampling.fillspec.build_sampler`.
+FillSpecFactory = Callable[[str, ConstraintSet, int], FillSpec]
+
+#: Names accepted by :func:`build_shard_backend` (each optionally suffixed
+#: with a worker-count override, e.g. ``"process:4"``).
+SHARD_BACKEND_NAMES = ("inline", "thread", "process")
 
 
 def _hash64(text: str) -> int:
@@ -86,11 +117,21 @@ def _hash64(text: str) -> int:
 
 @dataclass(frozen=True)
 class PoolFillJob:
-    """One pool build request: draw ``count`` samples valid under ``constraints``."""
+    """One pool build request: draw ``count`` samples valid under ``constraints``.
+
+    ``spec`` optionally carries a pre-built :class:`FillSpec` for the job;
+    when absent, the owning shard derives one from its ``spec_factory`` (or
+    falls back to the deprecated sampler-factory closure).
+    """
 
     key: str
     constraints: ConstraintSet
     count: int
+    spec: Optional[FillSpec] = None
+
+
+#: One backend work item: the shard that owns the jobs, and its batch.
+ShardFillBatch = Tuple["PoolShard", Sequence[PoolFillJob]]
 
 
 # ================================================================== backends
@@ -103,6 +144,27 @@ class ShardBackend(abc.ABC):
     @abc.abstractmethod
     def map(self, calls: Sequence[Callable[[], dict]]) -> List[dict]:
         """Run every zero-argument call and return their results in order."""
+
+    def run_fill_batches(
+        self, batches: Sequence[ShardFillBatch]
+    ) -> Dict[str, SamplePool]:
+        """Run per-shard fill batches; returns ``{job.key: pool}`` merged.
+
+        The default implementation wraps each batch in a closure and runs it
+        through :meth:`map` — correct for any in-process backend.  Backends
+        that cross a process boundary override this to extract the picklable
+        :class:`FillSpec` from each job instead of shipping closures.
+        """
+        calls = [
+            # Bind per-iteration values as defaults: late-binding closures
+            # would all see the last batch.
+            lambda shard=shard, jobs=list(jobs): shard.fill_jobs(jobs)
+            for shard, jobs in batches
+        ]
+        results: Dict[str, SamplePool] = {}
+        for partial in self.map(calls):
+            results.update(partial)
+        return results
 
     def close(self) -> None:
         """Release any execution resources (idempotent; default no-op)."""
@@ -155,15 +217,220 @@ class ThreadShardBackend(ShardBackend):
             self._executor = None
 
 
-def build_shard_backend(name: str, num_shards: int) -> ShardBackend:
-    """A backend instance from its configured name."""
-    if name == "inline":
-        return InlineShardBackend()
-    if name == "thread":
-        return ThreadShardBackend(max_workers=num_shards)
-    raise ValueError(
-        f"shard backend must be one of {SHARD_BACKEND_NAMES}, got {name!r}"
+# -------------------------------------------------------- process worker side
+def _process_worker_init(contexts: Sequence[FillContext]) -> None:
+    """Worker-pool initializer: register the shipped fill contexts.
+
+    Runs once per worker process.  Contexts are content-addressed, so a
+    forked worker that inherited the parent's registry re-registers them as
+    no-ops; a spawned worker starts empty and this is its only copy.
+    """
+    for context in contexts:
+        register_fill_context(context)
+
+
+def _process_fill_batch(
+    items: Sequence[Tuple[FillSpec, Optional[FillContext]]],
+) -> List[Tuple[str, np.ndarray, np.ndarray, dict]]:
+    """Run one shard's fill batch in a worker process.
+
+    Returns plain ``(key, samples, weights, stats)`` tuples — arrays and
+    dicts, never live :class:`SamplePool` objects — re-hydrated engine-side.
+    ``stats`` gains the worker's PID so tests (and operators) can verify
+    fills actually left the engine process.
+    """
+    results = []
+    for spec, context in items:
+        pool = execute_fill(spec, context)
+        stats = dict(pool.stats)
+        stats["fill_worker_pid"] = os.getpid()
+        results.append((spec.key, pool.samples, pool.weights, stats))
+    return results
+
+
+class ProcessShardBackend(ShardBackend):
+    """Run shard fill batches on a persistent pool of worker processes.
+
+    The backend the :class:`FillSpec` seam exists for: each batch is reduced
+    to picklable specs, shipped to a :class:`ProcessPoolExecutor`, resolved
+    worker-side by the module-level
+    :func:`~repro.sampling.fillspec.build_sampler`, and returned as plain
+    weight/sample arrays re-hydrated into :class:`SamplePool` engine-side.
+    Because fills are key-deterministic, escaping the GIL this way changes
+    *where* a pool is computed but never *what* it contains.
+
+    Shared state ships once: the first dispatch snapshots every registered
+    :class:`FillContext` and hands it to the worker initializer; workers
+    cache contexts by digest, so steady-state specs are a few hundred bytes.
+    A context registered *after* the pool spawned rides along with its spec.
+
+    Worker death (OOM kill, segfault, ``os._exit``) surfaces as
+    ``BrokenProcessPool``; the backend discards the broken pool, retries the
+    whole dispatch once on a fresh pool, and if that also dies falls back to
+    executing the specs inline — the shard is never poisoned and the fill
+    result is identical either way (``worker_restarts`` and
+    ``inline_fallbacks`` count the recoveries).
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError(f"max_workers must be > 0 or None, got {max_workers}")
+        self.max_workers = max_workers
+        self.start_method = start_method
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._shipped: frozenset = frozenset()
+        self.batches_dispatched = 0
+        self.worker_restarts = 0
+        self.inline_fallbacks = 0
+
+    def map(self, calls: Sequence[Callable[[], dict]]) -> List[dict]:
+        raise NotImplementedError(
+            "ProcessShardBackend cannot run arbitrary closures: closures "
+            "capture live objects and cannot cross the process boundary; "
+            "fills go through run_fill_batches() as picklable FillSpecs"
+        )
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            contexts = list(known_fill_contexts().values())
+            self._shipped = frozenset(c.digest for c in contexts)
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                mp_context=multiprocessing.get_context(self.start_method),
+                initializer=_process_worker_init,
+                initargs=(contexts,),
+            )
+        return self._executor
+
+    def _payloads(
+        self, batches: Sequence[ShardFillBatch]
+    ) -> List[Tuple["PoolShard", List[Tuple[FillSpec, Optional[FillContext]]]]]:
+        """Reduce each batch to picklable ``(spec, context?)`` items."""
+        payloads = []
+        for shard, jobs in batches:
+            items = []
+            for job in jobs:
+                spec = shard.spec_for(job)
+                if spec is None:
+                    raise RuntimeError(
+                        "ProcessShardBackend requires FillSpec-based fills: "
+                        "a legacy sampler_factory is a closure over the live "
+                        "engine and cannot cross the process boundary — "
+                        "construct the repository with spec_factory=..."
+                    )
+                # Contexts the initializer already shipped live worker-side;
+                # anything registered since rides along with its spec.
+                context = (
+                    None
+                    if spec.context_digest in self._shipped
+                    else get_fill_context(spec.context_digest)
+                )
+                items.append((spec, context))
+            payloads.append((shard, items))
+        return payloads
+
+    def run_fill_batches(
+        self, batches: Sequence[ShardFillBatch]
+    ) -> Dict[str, SamplePool]:
+        batches = [(shard, list(jobs)) for shard, jobs in batches if jobs]
+        if not batches:
+            return {}
+        self._ensure_executor()  # fix the shipped-context set before _payloads
+        payloads = self._payloads(batches)
+        for _attempt in range(2):
+            executor = self._ensure_executor()
+            submitted = [
+                (shard, executor.submit(_process_fill_batch, items))
+                for shard, items in payloads
+            ]
+            try:
+                results: Dict[str, SamplePool] = {}
+                for shard, future in submitted:
+                    for key, samples, weights, stats in future.result():
+                        pool = SamplePool(samples, weights, stats)
+                        shard.record_fill(pool)
+                        results[key] = pool
+                self.batches_dispatched += len(payloads)
+                return results
+            except BrokenProcessPool:
+                # A worker died mid-fill and took the pool down with it.
+                # Discard the carcass; the loop retries once on a fresh pool.
+                self.worker_restarts += 1
+                executor.shutdown(wait=False)
+                self._executor = None
+        # Two pools died in a row — something environmental (not one flaky
+        # worker).  Fills are pure functions of their specs, so run them
+        # inline: slower, but identical output and the shard stays healthy.
+        self.inline_fallbacks += 1
+        results = {}
+        for shard, items in payloads:
+            for spec, context in items:
+                pool = execute_fill(spec, context)
+                shard.record_fill(pool)
+                results[spec.key] = pool
+        return results
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+
+def parse_shard_backend(name: str) -> Tuple[str, Optional[int]]:
+    """Split a backend name into ``(base, worker_override)``.
+
+    Accepts ``"inline"``, ``"thread"``, ``"process"``, each optionally
+    suffixed ``":N"`` to override the worker count (e.g. ``"process:4"``).
+    Unknown names raise a ``ValueError`` that lists the valid backends.
+    """
+    base, _, suffix = str(name).partition(":")
+    workers: Optional[int] = None
+    if suffix:
+        try:
+            workers = int(suffix)
+        except ValueError:
+            raise ValueError(
+                f"shard backend worker-count override must be an integer, "
+                f"got {name!r} (expected e.g. 'process:4')"
+            ) from None
+        if workers <= 0:
+            raise ValueError(
+                f"shard backend worker-count override must be > 0, got {name!r}"
+            )
+    if base not in SHARD_BACKEND_NAMES:
+        raise ValueError(
+            f"unknown shard backend {name!r}: valid backends are "
+            + ", ".join(repr(n) for n in SHARD_BACKEND_NAMES)
+            + " (optionally with a worker-count override, e.g. 'process:4')"
+        )
+    return base, workers
+
+
+def build_shard_backend(
+    name: str, num_shards: int, max_workers: Optional[int] = None
+) -> ShardBackend:
+    """A backend instance from its configured name.
+
+    Worker count precedence: an explicit ``max_workers`` argument, then a
+    ``":N"`` suffix in the name, then one worker per shard.
+    """
+    base, override = parse_shard_backend(name)
+    workers = (
+        max_workers
+        if max_workers is not None
+        else (override if override is not None else num_shards)
     )
+    if base == "inline":
+        return InlineShardBackend()
+    if base == "thread":
+        return ThreadShardBackend(max_workers=workers)
+    return ProcessShardBackend(max_workers=workers)
 
 
 # ================================================================= interface
@@ -237,19 +504,32 @@ class PoolRepository(abc.ABC):
 class PoolShard:
     """One partition: an LRU pool cache, a pinned set, and fill execution.
 
-    The shard's ``sampler_factory`` is the only engine state it holds, which
-    keeps the shard self-contained: a future process backend would construct
-    the factory shard-side from a config instead of closing over the engine.
+    The shard's ``spec_factory`` is the only engine-derived state it holds,
+    and it produces *data* (picklable :class:`FillSpec` records), not live
+    samplers — which is what lets a process backend ship the shard's fills
+    across the process boundary.  The deprecated ``sampler_factory`` closure
+    is still honoured for in-process backends.
     """
 
-    def __init__(self, index: int, capacity: int, sampler_factory: SamplerFactory) -> None:
+    def __init__(
+        self,
+        index: int,
+        capacity: int,
+        sampler_factory: Optional[SamplerFactory] = None,
+        spec_factory: Optional[FillSpecFactory] = None,
+    ) -> None:
         if capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
+        if sampler_factory is None and spec_factory is None:
+            raise ValueError(
+                "PoolShard needs a spec_factory (or the legacy sampler_factory)"
+            )
         self.index = index
         self.capacity = int(capacity)
         self.cache = SamplePoolCache(capacity)
         self.pinned: Dict[str, SamplePool] = {}
         self.sampler_factory = sampler_factory
+        self.spec_factory = spec_factory
         self.fills = 0
         self.samples_filled = 0
 
@@ -310,12 +590,33 @@ class PoolShard:
         return list(self.pinned) + self.cache.keys()
 
     # ------------------------------------------------------------------ fills
-    def fill(self, job: PoolFillJob) -> SamplePool:
-        """Build one pool with a sampler seeded for the job's key."""
-        sampler = self.sampler_factory(job.key)
-        pool = sampler.sample(job.count, job.constraints)
+    def spec_for(self, job: PoolFillJob) -> Optional[FillSpec]:
+        """The picklable spec describing ``job``, or ``None`` on the legacy path.
+
+        Precedence: a spec the job already carries, then the shard's
+        ``spec_factory``.  ``None`` means only the deprecated in-process
+        sampler-factory closure can run this fill.
+        """
+        if job.spec is not None:
+            return job.spec
+        if self.spec_factory is not None:
+            return self.spec_factory(job.key, job.constraints, job.count)
+        return None
+
+    def record_fill(self, pool: SamplePool) -> None:
+        """Count a completed fill against this shard's load statistics."""
         self.fills += 1
         self.samples_filled += pool.size
+
+    def fill(self, job: PoolFillJob) -> SamplePool:
+        """Build one pool with a sampler seeded for the job's key."""
+        spec = self.spec_for(job)
+        if spec is not None:
+            pool = execute_fill(spec)
+        else:
+            sampler = self.sampler_factory(job.key)
+            pool = sampler.sample(job.count, job.constraints)
+        self.record_fill(pool)
         return pool
 
     def fill_jobs(self, jobs: Sequence[PoolFillJob]) -> Dict[str, SamplePool]:
@@ -329,9 +630,16 @@ class ShardedPoolRepository(PoolRepository):
 
     Parameters
     ----------
+    spec_factory:
+        ``factory(pool_key, constraints, count) -> FillSpec``; the engine
+        folds its seed root into the spec's derived seed, which is how the
+        determinism contract (module docstring) is honoured.  Required for
+        the process backend.
     sampler_factory:
-        ``factory(pool_key) -> Sampler``; must derive the sampler's RNG from
-        the key (see the module docstring's determinism contract).
+        Deprecated in-process alternative: ``factory(pool_key) -> Sampler``.
+        Still works on the inline and thread backends (with a
+        ``DeprecationWarning``); a process backend rejects it because a
+        closure over the live engine cannot be pickled.
     num_shards:
         Number of partitions.  One shard with the inline backend reproduces
         the old single-cache behaviour exactly.
@@ -350,11 +658,12 @@ class ShardedPoolRepository(PoolRepository):
 
     def __init__(
         self,
-        sampler_factory: SamplerFactory,
+        sampler_factory: Optional[SamplerFactory] = None,
         num_shards: int = 1,
         capacity: int = 512,
         backend: Optional[ShardBackend] = None,
         virtual_nodes: int = 64,
+        spec_factory: Optional[FillSpecFactory] = None,
     ) -> None:
         if num_shards <= 0:
             raise ValueError(f"num_shards must be > 0, got {num_shards}")
@@ -362,10 +671,31 @@ class ShardedPoolRepository(PoolRepository):
             raise ValueError(f"capacity must be >= 0, got {capacity}")
         if virtual_nodes <= 0:
             raise ValueError(f"virtual_nodes must be > 0, got {virtual_nodes}")
+        if sampler_factory is not None and spec_factory is not None:
+            raise ValueError(
+                "pass either spec_factory or the legacy sampler_factory, not both"
+            )
+        if sampler_factory is None and spec_factory is None:
+            raise ValueError(
+                "a spec_factory (or the legacy sampler_factory) is required"
+            )
+        if sampler_factory is not None:
+            warnings.warn(
+                "sampler_factory closures are deprecated: pass spec_factory= "
+                "(a FillSpec builder) so fills are plain data and can run on "
+                "the process shard backend",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.capacity = int(capacity)
         per_shard = -(-capacity // num_shards) if capacity else 0  # ceil div
         self.shards = [
-            PoolShard(index, per_shard, sampler_factory)
+            PoolShard(
+                index,
+                per_shard,
+                sampler_factory=sampler_factory,
+                spec_factory=spec_factory,
+            )
             for index in range(num_shards)
         ]
         self.backend = backend if backend is not None else InlineShardBackend()
@@ -439,16 +769,9 @@ class ShardedPoolRepository(PoolRepository):
         self.fill_batches += 1
         if len(by_shard) > 1:
             self.multi_shard_fill_batches += 1
-        calls = [
-            # Bind per-iteration values as defaults: late-binding closures
-            # would all see the last shard.
-            lambda shard=self.shards[index], batch=batch: shard.fill_jobs(batch)
-            for index, batch in by_shard.items()
-        ]
-        results: Dict[str, SamplePool] = {}
-        for partial in self.backend.map(calls):
-            results.update(partial)
-        return results
+        return self.backend.run_fill_batches(
+            [(self.shards[index], batch) for index, batch in by_shard.items()]
+        )
 
     # ------------------------------------------------------------------- stats
     @property
@@ -475,9 +798,19 @@ class ShardedPoolRepository(PoolRepository):
 
     def describe(self) -> dict:
         """Topology and per-shard load, for :meth:`EngineStats.as_dict`."""
+        backend_extras = {
+            counter: getattr(self.backend, counter)
+            for counter in (
+                "batches_dispatched",
+                "worker_restarts",
+                "inline_fallbacks",
+            )
+            if hasattr(self.backend, counter)
+        }
         return {
             "num_shards": len(self.shards),
             "backend": self.backend.name,
+            **backend_extras,
             "capacity": self.capacity,
             "pinned": len(self.pinned_keys()),
             "fills": self.fills,

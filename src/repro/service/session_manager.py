@@ -261,6 +261,16 @@ class SessionManager:
                 return entry
         raise SessionNotFoundError(session_id)
 
+    def peek(self, session_id: str) -> Optional[SessionEntry]:
+        """The in-memory entry for ``session_id``, or ``None`` — no side effects.
+
+        Unlike :meth:`acquire`, peeking never touches recency or the TTL
+        clock, never restores a swapped-out session, and never raises: it is
+        for planning passes (e.g. the dispatcher asking which shard owns a
+        session's next fill) that must not perturb session lifecycle.
+        """
+        return self._active.get(session_id)
+
     def remove(self, session_id: str, drop_snapshot: bool = True) -> bool:
         """Close a session; returns whether anything was removed."""
         removed = self._active.pop(session_id, None) is not None

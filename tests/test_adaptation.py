@@ -173,10 +173,13 @@ class TestConstraintSimilarityIndex:
 
 # ================================================================ PoolAdapter
 def build_repository_with(key, pool):
-    def fail_factory(_key):  # adaptation must never trigger a fill
-        raise AssertionError("sampler factory must not be called")
+    def fail_spec_factory(key, constraints, count):
+        # adaptation must never trigger a fill
+        raise AssertionError("spec factory must not be called")
 
-    repository = ShardedPoolRepository(fail_factory, num_shards=1, capacity=8)
+    repository = ShardedPoolRepository(
+        spec_factory=fail_spec_factory, num_shards=1, capacity=8
+    )
     repository.put(key, pool)
     return repository
 

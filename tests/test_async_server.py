@@ -51,6 +51,23 @@ class StubEngine:
         return [f"round:{session_id}" for session_id in session_ids]
 
 
+class ShardAwareStubEngine(StubEngine):
+    """Stub with the sharded-engine planning surface (``fill_shard_plan``)."""
+
+    def __init__(self, plan=None, **kwargs):
+        super().__init__(**kwargs)
+        self.plan = dict(plan or {})
+        self.plan_calls = []
+
+    def fill_shard_plan(self, session_ids):
+        self.plan_calls.append(list(session_ids))
+        return {
+            session_id: self.plan[session_id]
+            for session_id in session_ids
+            if session_id in self.plan
+        }
+
+
 @pytest.fixture
 def serving_catalog() -> ItemCatalog:
     rng = np.random.default_rng(11)
@@ -219,6 +236,51 @@ class TestDispatchWindow:
             MicroBatchDispatcher(StubEngine(), max_wait=-1.0)
         with pytest.raises(ValueError):
             MicroBatchDispatcher(StubEngine(), max_pending=0)
+
+
+# ====================================================== shard-aware dispatch
+class TestShardAwareDispatch:
+    def _dispatch(self, engine, ids):
+        async def main():
+            dispatcher = MicroBatchDispatcher(
+                engine, max_batch_size=len(ids), max_wait=60.0
+            )
+            results = await asyncio.gather(
+                *(dispatcher.submit(session_id) for session_id in ids)
+            )
+            return dispatcher, results
+
+        return asyncio.run(main())
+
+    def test_window_groups_pool_missing_sessions_by_shard(self):
+        """Interleaved arrivals reach recommend_many contiguous per shard."""
+        engine = ShardAwareStubEngine(
+            plan={"a": 1, "b": 0, "c": 1, "d": 0}
+        )
+        dispatcher, results = self._dispatch(engine, ["a", "b", "c", "d"])
+        assert results == ["round:a", "round:b", "round:c", "round:d"]
+        # shard 0 first, shard 1 second; arrival order stable within a shard
+        assert engine.batch_calls == [["b", "d", "a", "c"]]
+        assert dispatcher.stats.shard_grouped_batches == 1
+
+    def test_sessions_with_live_pools_keep_arrival_order_after_groups(self):
+        engine = ShardAwareStubEngine(plan={"c": 2, "a": 0})
+        dispatcher, _results = self._dispatch(engine, ["a", "b", "c", "d"])
+        # planned sessions grouped first; pool-hit sessions (b, d) trail in
+        # arrival order
+        assert engine.batch_calls == [["a", "c", "b", "d"]]
+
+    def test_single_shard_windows_are_left_untouched(self):
+        engine = ShardAwareStubEngine(plan={"a": 3, "c": 3})
+        dispatcher, _results = self._dispatch(engine, ["a", "b", "c"])
+        assert engine.batch_calls == [["a", "b", "c"]]
+        assert dispatcher.stats.shard_grouped_batches == 0
+
+    def test_engines_without_the_surface_are_left_untouched(self):
+        engine = StubEngine()
+        dispatcher, _results = self._dispatch(engine, ["x", "y", "z"])
+        assert engine.batch_calls == [["x", "y", "z"]]
+        assert dispatcher.stats.shard_grouped_batches == 0
 
 
 # ============================================================= backpressure

@@ -2,12 +2,15 @@
 
 Covers the tentpole guarantees of the sharded pool service: consistent-hash
 routing stability, per-shard LRU + pinning semantics, key-deterministic fills
-(identical pools regardless of shard count, fill grouping, or backend),
+(identical pools regardless of shard count, fill grouping, or backend —
+including the process backend, whose fills run in worker processes),
 bit-identical engine recommendations for 1 vs 4 shards, and the
 WarmStartPlanner contract that cold sessions never sample.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
@@ -16,23 +19,33 @@ from repro.core.elicitation import ElicitationConfig
 from repro.core.items import ItemCatalog
 from repro.core.profiles import AggregateProfile
 from repro.sampling.base import ConstraintSet, SamplePool
+from repro.sampling.fillspec import (
+    FillContext,
+    FillSpec,
+    PriorSpec,
+    register_fill_context,
+    register_sampler_builder,
+)
+from repro.sampling.fillspec import _SAMPLER_BUILDERS
 from repro.sampling.rejection import RejectionSampler
 from repro.sampling.gaussian_mixture import GaussianMixture
 from repro.service import (
     EngineConfig,
     InlineShardBackend,
     PoolFillJob,
+    ProcessShardBackend,
     RecommendationEngine,
     ShardedPoolRepository,
     ThreadShardBackend,
     build_shard_backend,
+    parse_shard_backend,
 )
 
 NUM_FEATURES = 3
 
 
 def make_factory(prior=None):
-    """A key-deterministic sampler factory (the engine's contract, in miniature)."""
+    """A key-deterministic *legacy* sampler factory (deprecated closure path)."""
     prior = prior or GaussianMixture.default_prior(NUM_FEATURES, rng=0)
 
     def factory(key: str):
@@ -46,12 +59,30 @@ def make_factory(prior=None):
     return factory
 
 
+def make_spec_factory(prior=None, sampler="rejection", seed_root=0):
+    """A key-deterministic FillSpec factory (the engine's contract, in miniature)."""
+    prior = prior or GaussianMixture.default_prior(NUM_FEATURES, rng=0)
+    digest = register_fill_context(FillContext(prior=PriorSpec.from_mixture(prior)))
+
+    def factory(key: str, constraints: ConstraintSet, count: int) -> FillSpec:
+        return FillSpec.for_fill(
+            key,
+            constraints,
+            count,
+            sampler=sampler,
+            seed_root=seed_root,
+            context_digest=digest,
+        )
+
+    return factory
+
+
 def make_pool(size=4):
     return SamplePool.unweighted(np.random.default_rng(0).random((size, NUM_FEATURES)))
 
 
 def repo(**kwargs):
-    defaults = dict(sampler_factory=make_factory(), num_shards=4, capacity=16)
+    defaults = dict(spec_factory=make_spec_factory(), num_shards=4, capacity=16)
     defaults.update(kwargs)
     return ShardedPoolRepository(**defaults)
 
@@ -248,9 +279,35 @@ class TestShardBackends:
         assert backend.name == "thread"
         backend.close()
 
-    def test_unknown_name_rejected(self):
-        with pytest.raises(ValueError):
-            build_shard_backend("process", 4)
+    def test_process_backend_by_name(self):
+        backend = build_shard_backend("process", 4)
+        assert backend.name == "process"
+        assert backend.max_workers == 4
+        backend.close()
+
+    def test_worker_count_override_suffix(self):
+        backend = build_shard_backend("process:2", 8)
+        assert backend.max_workers == 2
+        backend.close()
+        backend = build_shard_backend("thread:3", 8)
+        assert backend.max_workers == 3
+        backend.close()
+        # an explicit argument outranks the suffix
+        backend = build_shard_backend("process:2", 8, max_workers=5)
+        assert backend.max_workers == 5
+        backend.close()
+
+    def test_unknown_name_rejected_with_the_valid_list(self):
+        with pytest.raises(ValueError, match="inline.*thread.*process"):
+            build_shard_backend("gpu", 4)
+        with pytest.raises(ValueError, match="worker-count"):
+            build_shard_backend("process:zero", 4)
+        with pytest.raises(ValueError, match="worker-count"):
+            build_shard_backend("process:0", 4)
+
+    def test_parse_shard_backend(self):
+        assert parse_shard_backend("inline") == ("inline", None)
+        assert parse_shard_backend("process:6") == ("process", 6)
 
     def test_thread_backend_single_call_runs_inline(self):
         backend = ThreadShardBackend(max_workers=2)
@@ -260,11 +317,165 @@ class TestShardBackends:
 
     def test_validation(self):
         with pytest.raises(ValueError):
-            ShardedPoolRepository(make_factory(), num_shards=0)
+            ShardedPoolRepository(spec_factory=make_spec_factory(), num_shards=0)
         with pytest.raises(ValueError):
-            ShardedPoolRepository(make_factory(), capacity=-1)
+            ShardedPoolRepository(spec_factory=make_spec_factory(), capacity=-1)
         with pytest.raises(ValueError):
             ThreadShardBackend(max_workers=0)
+        with pytest.raises(ValueError):
+            ProcessShardBackend(max_workers=0)
+        with pytest.raises(ValueError, match="required"):
+            ShardedPoolRepository()
+
+    def test_process_backend_refuses_arbitrary_closures(self):
+        backend = ProcessShardBackend(max_workers=2)
+        with pytest.raises(NotImplementedError, match="process boundary"):
+            backend.map([lambda: {"a": 1}])
+        backend.close()
+
+
+# ============================================================ legacy factories
+class TestLegacySamplerFactory:
+    CONSTRAINTS = ConstraintSet(np.array([[1.0, 0.0, 0.0]]))
+
+    def test_sampler_factory_warns_but_keeps_working(self):
+        with pytest.warns(DeprecationWarning, match="spec_factory"):
+            repository = ShardedPoolRepository(
+                sampler_factory=make_factory(), num_shards=4, capacity=16
+            )
+        a = repository.fill_one("k", self.CONSTRAINTS, 12)
+        b = repository.fill_one("k", self.CONSTRAINTS, 12)
+        np.testing.assert_array_equal(a.samples, b.samples)
+
+    def test_both_factories_rejected(self):
+        with pytest.raises(ValueError, match="not both"):
+            ShardedPoolRepository(
+                sampler_factory=make_factory(),
+                spec_factory=make_spec_factory(),
+            )
+
+    def test_legacy_factory_cannot_cross_the_process_boundary(self):
+        with pytest.warns(DeprecationWarning):
+            repository = ShardedPoolRepository(
+                sampler_factory=make_factory(),
+                num_shards=2,
+                backend=ProcessShardBackend(max_workers=2),
+            )
+        jobs = [PoolFillJob(f"k{i}", self.CONSTRAINTS, 5) for i in range(4)]
+        with pytest.raises(RuntimeError, match="spec_factory"):
+            repository.fill_many(jobs)
+        repository.close()
+
+
+# ============================================================ process backend
+class TestProcessShardBackend:
+    CONSTRAINTS = ConstraintSet(np.array([[1.0, 0.0, 0.0]]))
+
+    def test_matches_inline_results(self):
+        jobs = [PoolFillJob(f"k{i}", self.CONSTRAINTS, 10) for i in range(8)]
+        inline = repo(backend=InlineShardBackend()).fill_many(jobs)
+        process_repo = repo(backend=ProcessShardBackend(max_workers=4))
+        processed = process_repo.fill_many(jobs)
+        assert set(inline) == set(processed)
+        for key in inline:
+            np.testing.assert_array_equal(
+                inline[key].samples, processed[key].samples
+            )
+            np.testing.assert_array_equal(
+                inline[key].weights, processed[key].weights
+            )
+        process_repo.close()
+
+    def test_fills_run_in_worker_processes(self):
+        process_repo = repo(backend=ProcessShardBackend(max_workers=2))
+        jobs = [PoolFillJob(f"k{i}", self.CONSTRAINTS, 5) for i in range(6)]
+        pools = process_repo.fill_many(jobs)
+        worker_pids = {p.stats["fill_worker_pid"] for p in pools.values()}
+        assert worker_pids  # every pool records where it was built
+        assert os.getpid() not in worker_pids
+        assert sum(shard.fills for shard in process_repo.shards) == 6
+        process_repo.close()
+
+    def test_worker_crash_recovers_via_retry(self, tmp_path):
+        """First worker dies mid-fill; the retry on a fresh pool succeeds."""
+        sentinel = tmp_path / "crashed-once"
+
+        def crash_once_builder(spec, prior, rng):
+            class CrashOnceSampler:
+                def sample(self, count, constraints):
+                    if not sentinel.exists():
+                        sentinel.write_text("boom")
+                        os._exit(13)  # simulate an OOM-kill / segfault
+                    return RejectionSampler(prior, rng=rng).sample(
+                        count, constraints
+                    )
+
+            return CrashOnceSampler()
+
+        register_sampler_builder("crash-once", crash_once_builder)
+        try:
+            backend = ProcessShardBackend(max_workers=2, start_method="fork")
+            repository = repo(
+                spec_factory=make_spec_factory(sampler="crash-once"),
+                backend=backend,
+            )
+            jobs = [PoolFillJob(f"k{i}", self.CONSTRAINTS, 5) for i in range(4)]
+            pools = repository.fill_many(jobs)
+            assert set(pools) == {job.key for job in jobs}
+            assert backend.worker_restarts == 1
+            assert backend.inline_fallbacks == 0
+            # the retried fills still ran out-of-process
+            assert os.getpid() not in {
+                p.stats["fill_worker_pid"] for p in pools.values()
+            }
+            repository.close()
+        finally:
+            _SAMPLER_BUILDERS.pop("crash-once", None)
+
+    def test_persistent_crash_falls_back_inline_without_poisoning(self):
+        """Both attempts die → fills run inline; the next batch uses workers."""
+        main_pid = os.getpid()
+
+        def crash_in_workers_builder(spec, prior, rng):
+            class CrashInWorkersSampler:
+                def sample(self, count, constraints):
+                    if os.getpid() != main_pid:
+                        os._exit(13)
+                    return RejectionSampler(prior, rng=rng).sample(
+                        count, constraints
+                    )
+
+            return CrashInWorkersSampler()
+
+        register_sampler_builder("crash-in-workers", crash_in_workers_builder)
+        try:
+            backend = ProcessShardBackend(max_workers=2, start_method="fork")
+            repository = repo(
+                spec_factory=make_spec_factory(sampler="crash-in-workers"),
+                backend=backend,
+            )
+            jobs = [PoolFillJob(f"k{i}", self.CONSTRAINTS, 5) for i in range(4)]
+            pools = repository.fill_many(jobs)
+            assert set(pools) == {job.key for job in jobs}
+            assert backend.worker_restarts == 2
+            assert backend.inline_fallbacks == 1
+            # inline fallback output is the same deterministic fill
+            reference = repo().fill_many(jobs)
+            for key in reference:
+                np.testing.assert_array_equal(
+                    reference[key].samples, pools[key].samples
+                )
+            # the shard is not poisoned: a healthy batch goes back out-of-process
+            healthy_repo = repo(backend=backend)
+            healthy = healthy_repo.fill_many(
+                [PoolFillJob(f"h{i}", self.CONSTRAINTS, 5) for i in range(4)]
+            )
+            assert os.getpid() not in {
+                p.stats["fill_worker_pid"] for p in healthy.values()
+            }
+            repository.close()
+        finally:
+            _SAMPLER_BUILDERS.pop("crash-in-workers", None)
 
 
 # ======================================================== engine-level sharding
@@ -333,6 +544,85 @@ class TestShardedEngineEquivalence:
         assert run_heterogeneous(one) == run_heterogeneous(four)
         assert four.stats().pool_repository["multi_shard_fill_batches"] >= 1
         four.close_repository()
+
+    def test_four_process_shards_bit_identical_to_inline(
+        self, serving_catalog, serving_profile
+    ):
+        """The ISSUE acceptance bar: process-backed shards serve the same rounds.
+
+        Fills demonstrably execute in worker processes (distinct PIDs), yet
+        every presented list matches the unsharded inline engine exactly.
+        """
+        inline = make_engine(serving_catalog, serving_profile, pool_shards=1)
+        process = make_engine(
+            serving_catalog,
+            serving_profile,
+            pool_shards=4,
+            pool_shard_backend="process",
+        )
+        assert run_heterogeneous(inline) == run_heterogeneous(process)
+        worker_pids = set()
+        for shard in process.pool_repository.shards:
+            for key in shard.keys():
+                pid = shard.peek(key).stats.get("fill_worker_pid")
+                if pid is not None:
+                    worker_pids.add(pid)
+        assert worker_pids  # fills actually left the engine process
+        assert os.getpid() not in worker_pids
+        repo_stats = process.stats().pool_repository
+        assert repo_stats["backend"] == "process"
+        assert repo_stats["batches_dispatched"] >= 1
+        assert repo_stats["worker_restarts"] == 0
+        assert repo_stats["inline_fallbacks"] == 0
+        process.close_repository()
+        inline.close_repository()
+
+    def test_engine_accepts_worker_count_suffix(
+        self, serving_catalog, serving_profile
+    ):
+        engine = make_engine(
+            serving_catalog,
+            serving_profile,
+            pool_shards=4,
+            pool_shard_backend="process:2",
+        )
+        assert engine.pool_repository.backend.max_workers == 2
+        engine.close_repository()
+        with pytest.raises(ValueError, match="valid backends"):
+            make_engine(
+                serving_catalog, serving_profile, pool_shard_backend="mpi"
+            )
+
+    def test_fill_shard_plan_reports_pool_missing_sessions(
+        self, serving_catalog, serving_profile
+    ):
+        engine = make_engine(serving_catalog, serving_profile, pool_shards=4)
+        ids = [engine.create_session(seed=100 + i) for i in range(4)]
+        plan = engine.fill_shard_plan(ids)
+        # every cold session targets the (missing) empty-prefix pool, which
+        # exactly one shard owns
+        assert set(plan) == set(ids)
+        assert len(set(plan.values())) == 1
+        engine.recommend_many(ids)
+        # pools are now live/pending: nothing left to plan
+        assert engine.fill_shard_plan(ids) == {}
+        # unknown sessions are omitted, never an error (planning is advisory)
+        assert engine.fill_shard_plan(["ghost"]) == {}
+
+    def test_pool_cache_alias_warns_once(self, serving_catalog, serving_profile):
+        engine = make_engine(serving_catalog, serving_profile)
+        RecommendationEngine._pool_cache_warned = False
+        try:
+            with pytest.warns(DeprecationWarning, match="pool_repository"):
+                assert engine.pool_cache is engine.pool_repository
+            # second access is silent (warn once per process)
+            import warnings as _warnings
+
+            with _warnings.catch_warnings():
+                _warnings.simplefilter("error")
+                assert engine.pool_cache is engine.pool_repository
+        finally:
+            RecommendationEngine._pool_cache_warned = True
 
     def test_sharded_batched_matches_sharded_serial(
         self, serving_catalog, serving_profile

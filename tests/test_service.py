@@ -259,7 +259,7 @@ class TestPoolSharing:
         engine.recommend(a)  # new fingerprint evicts the empty-prefix pool
         stats = engine.stats()
         assert stats.pool_cache["evictions"] >= 1
-        assert len(engine.pool_cache) == 1
+        assert len(engine.pool_repository) == 1
 
     def test_maintenance_reuses_surviving_samples_on_miss(
         self, serving_catalog, serving_profile
