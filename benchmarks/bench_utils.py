@@ -32,19 +32,25 @@ def write_results(name: str, text: str) -> str:
 def record_ci_metric(
     name: str,
     value: float,
-    floor: float,
-    source: str,
-    description: str,
+    floor: float = None,
+    source: str = "",
+    description: str = "",
     unit: str = "x",
+    *,
+    ceiling: float = None,
 ) -> str:
     """Merge one gated metric into ``BENCH_ci.json`` and return its path.
 
     Each benchmark module records the headline number it *asserts* (value and
-    the floor it asserted against), so the CI gate — and anyone reading the
+    the bound it asserted against), so the CI gate — and anyone reading the
     artifact — sees every gated measurement in one machine-readable place.
-    Existing entries for other metrics are preserved, so the file accumulates
-    across modules within one benchmark run.
+    Pass ``floor`` for higher-is-better metrics (speedups, rates) or
+    ``ceiling`` for lower-is-better ones (row fractions, latencies) —
+    exactly one of the two.  Existing entries for other metrics are
+    preserved, so the file accumulates across modules within one run.
     """
+    if (floor is None) == (ceiling is None):
+        raise ValueError("pass exactly one of floor= or ceiling=")
     payload = {"schema_version": CI_SCHEMA_VERSION, "metrics": {}}
     if os.path.exists(CI_METRICS_PATH):
         try:
@@ -54,14 +60,18 @@ def record_ci_metric(
                 payload["metrics"] = dict(existing.get("metrics", {}))
         except (json.JSONDecodeError, OSError):
             pass  # a corrupt file is simply regenerated
-    payload["metrics"][name] = {
+    entry = {
         "value": round(float(value), 3),
-        "floor": float(floor),
         "unit": unit,
-        "higher_is_better": True,
+        "higher_is_better": floor is not None,
         "source": source,
         "description": description,
     }
+    if floor is not None:
+        entry["floor"] = float(floor)
+    else:
+        entry["ceiling"] = float(ceiling)
+    payload["metrics"][name] = entry
     payload["metrics"] = dict(sorted(payload["metrics"].items()))
     with open(CI_METRICS_PATH, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=False)

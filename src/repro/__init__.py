@@ -14,6 +14,10 @@ The public API re-exports the pieces most users need:
   :class:`BatchTopKPackageSearcher` (a whole pool, one shared walk);
 * ranking semantics: :class:`RankingSemantics`;
 * dataset generators: :func:`load_benchmark_dataset`, :func:`generate_nba_dataset`;
+* columnar catalog storage: :func:`write_catalog_store` /
+  :func:`open_catalog_store` (memory-mapped catalogs) and the pushdown
+  predicates :class:`NumericRangePredicate`, :class:`CategoryPredicate`,
+  :class:`CatalogPredicateSet`;
 * the online serving engine: :class:`RecommendationEngine`,
   :class:`EngineConfig`, :class:`TrafficSimulator`, and its
   fingerprint-partitioned pool state layer :class:`ShardedPoolRepository`
@@ -56,6 +60,14 @@ from repro.topk.batch_search import BatchTopKPackageSearcher, CandidateCarryover
 from repro.topk.bruteforce import brute_force_top_k_packages
 from repro.data.datasets import load_benchmark_dataset
 from repro.data.nba import generate_nba_dataset
+from repro.data.columnar import (
+    CatalogPredicate,
+    CatalogPredicateSet,
+    CategoryPredicate,
+    NumericRangePredicate,
+    open_catalog_store,
+    write_catalog_store,
+)
 from repro.simulation.user import SimulatedUser
 from repro.simulation.session import ElicitationSession
 from repro.simulation.traffic import (
@@ -141,6 +153,12 @@ __all__ = [
     "brute_force_top_k_packages",
     "load_benchmark_dataset",
     "generate_nba_dataset",
+    "CatalogPredicate",
+    "CatalogPredicateSet",
+    "CategoryPredicate",
+    "NumericRangePredicate",
+    "open_catalog_store",
+    "write_catalog_store",
     "SimulatedUser",
     "ElicitationSession",
     "TrafficSimulator",

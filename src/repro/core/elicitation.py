@@ -226,6 +226,11 @@ class PackageRecommender:
         components is used.
     predicates:
         Optional package-schema predicates enforced on recommended packages.
+    catalog_predicate:
+        Optional item-eligibility predicate
+        (:class:`repro.data.columnar.CatalogPredicate`) pushed down into
+        both searchers' sorted-list walks and into random-package draws, so
+        every presented package contains only eligible items.
     """
 
     def __init__(
@@ -235,6 +240,7 @@ class PackageRecommender:
         config: Optional[ElicitationConfig] = None,
         prior: Optional[GaussianMixture] = None,
         predicates: Optional[PredicateSet] = None,
+        catalog_predicate=None,
     ) -> None:
         self.config = config if config is not None else ElicitationConfig()
         self.catalog = catalog
@@ -263,11 +269,22 @@ class PackageRecommender:
         )
         self.sampler = self._build_sampler()
         self.preferences = PreferenceStore(catalog.num_features, on_cycle="drop")
+        self.catalog_predicate = catalog_predicate
+        if catalog_predicate is None:
+            self._eligible_items = None
+        else:
+            mask = catalog_predicate.eligible_mask(catalog)
+            self._eligible_items = [int(i) for i in np.flatnonzero(mask)]
+            if not self._eligible_items:
+                raise ValueError(
+                    "catalog_predicate eliminates every item; nothing to recommend"
+                )
         self.searcher = TopKPackageSearcher(
             self.evaluator,
             predicates=predicates,
             beam_width=self.config.search_beam_width,
             max_items_accessed=self.config.search_items_cap,
+            catalog_predicate=catalog_predicate,
         )
         # The pool-wide top-k queries walk the sorted lists once for all
         # samples; the sequential searcher above remains for single-vector
@@ -277,6 +294,7 @@ class PackageRecommender:
             predicates=predicates,
             beam_width=self.config.search_beam_width,
             max_items_accessed=self.config.search_items_cap,
+            catalog_predicate=catalog_predicate,
         )
         self._maintainer = self._build_maintainer()
         self._pool: Optional[SamplePool] = None
@@ -435,7 +453,9 @@ class PackageRecommender:
             and attempts < 50 * max(self.config.num_random, 1)
         ):
             attempts += 1
-            candidate = self.evaluator.random_package(self.rng)
+            candidate = self.evaluator.random_package(
+                self.rng, item_indices=self._eligible_items
+            )
             if candidate.items in exclude:
                 continue
             exclude.add(candidate.items)

@@ -183,15 +183,19 @@ class AggregateProfile:
                 f"max_package_size must be > 0, got {max_package_size}"
             )
         normalisers = np.ones(self.num_features)
+        maxs = catalog.feature_max()
         for j, aggregation in enumerate(self.aggregations):
             if aggregation is Aggregation.NULL:
                 continue
-            column = catalog.feature_column(j, fill_null=0.0)
             if aggregation is Aggregation.SUM:
-                top = np.sort(column)[::-1][:max_package_size]
-                value = float(top.sum())
+                # Sum of the φ largest values, read through the stored
+                # descending order — O(φ) row reads on an mmap-backed
+                # catalog instead of sorting the whole column.
+                value = float(
+                    catalog.feature_top_values(j, max_package_size).sum()
+                )
             else:
-                value = float(column.max())
+                value = float(maxs[j])
             normalisers[j] = value if value > 0 else 1.0
         return normalisers
 

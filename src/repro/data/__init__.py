@@ -16,8 +16,28 @@ from repro.data.generators import (
 )
 from repro.data.nba import NBA_FEATURES, generate_nba_dataset
 from repro.data.datasets import DatasetCatalog, load_benchmark_dataset
+from repro.data.columnar import (
+    CatalogPredicate,
+    CatalogPredicateSet,
+    CategoryPredicate,
+    MmapBacking,
+    NumericRangePredicate,
+    open_catalog_by_digest,
+    open_catalog_store,
+    register_catalog_location,
+    write_catalog_store,
+)
 
 __all__ = [
+    "CatalogPredicate",
+    "CatalogPredicateSet",
+    "CategoryPredicate",
+    "MmapBacking",
+    "NumericRangePredicate",
+    "open_catalog_by_digest",
+    "open_catalog_store",
+    "register_catalog_location",
+    "write_catalog_store",
     "generate_uniform",
     "generate_powerlaw",
     "generate_correlated",

@@ -127,14 +127,20 @@ class PriorSpec:
 class FillContext:
     """The shared state every fill under one engine needs, as plain data.
 
-    Today this is the prior alone; the design leaves room for future heavy
-    payloads (catalog columns, predicate tables) to ride along the same
-    ship-once-per-worker channel.  Contexts are content-addressed: the digest
-    is a hash of the payload, so a worker that already holds a context with
-    the same digest skips re-registration no matter which engine shipped it.
+    The prior rides as an inline payload; a catalog rides as a *reference* —
+    ``catalog_digest`` names the content, ``catalog_path`` says where the
+    columnar store lives on this host — so shipping a context to a worker
+    costs a few hundred bytes however large the catalog is: the worker mmaps
+    the store locally instead of receiving feature arrays over a pipe.
+    Contexts are content-addressed: the digest is a hash of the payload (the
+    catalog contributes its *content* digest, not its path), so a worker
+    that already holds a context with the same digest skips re-registration
+    no matter which engine shipped it.
     """
 
     prior: PriorSpec
+    catalog_path: Optional[str] = None
+    catalog_digest: Optional[str] = None
 
     @property
     def digest(self) -> str:
@@ -143,6 +149,8 @@ class FillContext:
         hasher.update(repr(self.prior.means).encode())
         hasher.update(repr(self.prior.covariances).encode())
         hasher.update(repr(self.prior.weights).encode())
+        if self.catalog_digest is not None:
+            hasher.update(f"catalog:{self.catalog_digest}".encode())
         return hasher.hexdigest()
 
 
@@ -165,6 +173,13 @@ def register_fill_context(context: FillContext) -> str:
     """
     digest = context.digest
     _CONTEXTS.setdefault(digest, context)
+    if context.catalog_digest is not None and context.catalog_path is not None:
+        # Record where the referenced columnar store lives so this process
+        # (engine, shard thread, or pool-fill worker — the process backend's
+        # initializer funnels through here) can mmap it on demand by digest.
+        from repro.data.columnar import register_catalog_location
+
+        register_catalog_location(context.catalog_digest, context.catalog_path)
     return digest
 
 
@@ -370,6 +385,22 @@ def build_sampler(
 def execute_fill(
     spec: FillSpec, context: Optional[FillContext] = None
 ) -> SamplePool:
-    """Run one fill described by ``spec`` and return its pool."""
+    """Run one fill described by ``spec`` and return its pool.
+
+    When the context references a catalog by digest, the referenced columnar
+    store is opened (mmap, cached per process) and stamped into the pool's
+    ``stats`` — proof, visible engine-side, that the fill ran against the
+    content-addressed catalog rather than a shipped array copy.  Stats never
+    influence sampling, so fills stay bit-identical across backings.
+    """
     sampler = build_sampler(spec, context)
-    return sampler.sample(spec.count, spec.constraint_set())
+    pool = sampler.sample(spec.count, spec.constraint_set())
+    if context is None:
+        context = _CONTEXTS.get(spec.context_digest)
+    if context is not None and context.catalog_digest is not None:
+        from repro.data.columnar import open_catalog_by_digest
+
+        opened = open_catalog_by_digest(context.catalog_digest)
+        pool.stats["catalog_digest"] = context.catalog_digest
+        pool.stats["catalog_items"] = opened.num_items
+    return pool

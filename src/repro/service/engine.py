@@ -46,6 +46,7 @@ distinct key in the session store's pool table) instead of embedding
 from __future__ import annotations
 
 import hashlib
+import tempfile
 import time
 import warnings
 from dataclasses import dataclass, field, replace
@@ -244,6 +245,16 @@ class EngineConfig:
         construction: pin the empty-prefix pool plus the pools of the top
         ``warm_start_first_clicks`` first-click choices (``0`` warms the
         empty-prefix pool only).
+    catalog_backing:
+        ``"materialized"`` (default) serves from the catalog as constructed.
+        ``"mmap"`` ensures the engine serves from a memory-mapped columnar
+        store: a catalog that is already mmap-backed is used as-is; a
+        materialized one is written to a temporary columnar store at engine
+        construction and reopened through ``np.memmap``.  Either way the
+        engine's fill context then references the catalog by content digest
+        (store path shipped, not arrays), so process-shard workers mmap the
+        shared store instead of receiving catalog copies — results are
+        bit-identical across backings.
     seed:
         Engine-level seed; all per-session seeds and per-key fill seeds
         derive from it.
@@ -268,9 +279,15 @@ class EngineConfig:
     refill_min_ess_fraction: float = 0.5
     refill_max_pool_multiple: float = 2.0
     warm_start_first_clicks: Optional[int] = None
+    catalog_backing: str = "materialized"
     seed: Optional[int] = 0
 
     def __post_init__(self) -> None:
+        if self.catalog_backing not in ("materialized", "mmap"):
+            raise ValueError(
+                f"catalog_backing must be 'materialized' or 'mmap', "
+                f"got {self.catalog_backing!r}"
+            )
         if self.max_active_sessions <= 0:
             raise ValueError(
                 f"max_active_sessions must be > 0, got {self.max_active_sessions}"
@@ -413,6 +430,11 @@ class RecommendationEngine:
         reference snapshots persist their pool payloads to its pool table.
     predicates:
         Optional package-schema predicates applied by every session.
+    catalog_predicate:
+        Optional item-eligibility predicate
+        (:class:`repro.data.columnar.CatalogPredicate`) pushed down into
+        every searcher the engine builds: the sorted-list walks and random
+        draws of every session see only eligible items.
     clock:
         Monotonic time source used for TTL/LRU bookkeeping (injectable).
     pool_repository:
@@ -430,12 +452,31 @@ class RecommendationEngine:
         predicates: Optional[PredicateSet] = None,
         clock: Callable[[], float] = time.monotonic,
         pool_repository: Optional[PoolRepository] = None,
+        catalog_predicate=None,
     ) -> None:
+        self.config = config if config is not None else EngineConfig()
+        # catalog_backing="mmap": serve from a memory-mapped columnar store.
+        # A catalog that already is one is used as-is; a materialized one is
+        # written out once (temporary store, lives as long as the engine) and
+        # reopened through np.memmap — the data and sort orders the sessions
+        # consume are then shared pages, not per-engine arrays.
+        self._catalog_store_tmp: Optional[tempfile.TemporaryDirectory] = None
+        if (
+            self.config.catalog_backing == "mmap"
+            and catalog.backing_kind != "mmap"
+        ):
+            from repro.data.columnar import open_catalog_store, write_catalog_store
+
+            self._catalog_store_tmp = tempfile.TemporaryDirectory(
+                prefix="repro-catalog-"
+            )
+            write_catalog_store(catalog, self._catalog_store_tmp.name)
+            catalog = open_catalog_store(self._catalog_store_tmp.name)
         self.catalog = catalog
         self.profile = profile
-        self.config = config if config is not None else EngineConfig()
         self.store = store
         self.predicates = predicates
+        self.catalog_predicate = catalog_predicate
         self.clock = clock
         # Log-backed store: sessions persist as events, restore is replay.
         self.event_log: Optional[EventLogStore] = (
@@ -476,7 +517,18 @@ class RecommendationEngine:
         # right back out of the registry; a process backend ships it to its
         # workers once via their initializer.  Registration is idempotent by
         # content, so many engines over one prior share one entry.
-        self._fill_context = FillContext(prior=PriorSpec.from_mixture(self.prior))
+        if self.catalog.backing_kind == "mmap" and self.catalog.store_path:
+            # Reference the catalog by content: workers resolve the digest to
+            # the store path and mmap it locally — no arrays over the pipe.
+            self._fill_context = FillContext(
+                prior=PriorSpec.from_mixture(self.prior),
+                catalog_path=self.catalog.store_path,
+                catalog_digest=self.catalog.content_digest(),
+            )
+        else:
+            self._fill_context = FillContext(
+                prior=PriorSpec.from_mixture(self.prior)
+            )
         self._fill_context_digest = register_fill_context(self._fill_context)
         if pool_repository is not None:
             self.pool_repository = pool_repository
@@ -519,6 +571,7 @@ class RecommendationEngine:
             carryover=(
                 CandidateCarryover() if self.config.search_carryover else None
             ),
+            catalog_predicate=catalog_predicate,
         )
         self.sessions = SessionManager(
             max_active=self.config.max_active_sessions,
@@ -613,6 +666,7 @@ class RecommendationEngine:
             config=session_config,
             prior=self.prior,
             predicates=self.predicates,
+            catalog_predicate=self.catalog_predicate,
         )
         now = self.clock()
         entry = SessionEntry(

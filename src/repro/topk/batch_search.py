@@ -71,7 +71,7 @@ from repro.topk.package_search import (
     canonical_package_vectors,
     null_aware_boundary,
 )
-from repro.topk.sorted_lists import SortedItemLists
+from repro.topk.sorted_lists import FilteredOrderSource, SortedItemLists
 
 __all__ = ["BatchTopKPackageSearcher", "CandidateCarryover"]
 
@@ -202,7 +202,12 @@ class _BatchState:
         self.set_mono = np.array(
             [LinearUtility(W[v]).is_set_monotone(ev.profile) for v in range(n)]
         )
-        self.lists = [SortedItemLists(ev.catalog, W[v]) for v in range(n)]
+        self.lists = [
+            SortedItemLists(
+                ev.catalog, W[v], order_provider=searcher._order_source
+            )
+            for v in range(n)
+        ]
         self.active = np.ones(n, dtype=bool)
         self.taus = np.zeros((n, m))
 
@@ -284,6 +289,12 @@ class BatchTopKPackageSearcher:
         :meth:`search_pools`.  Carried candidates are seeds only — every one
         is re-validated and re-scored before use — so results are identical
         with or without a carryover cache; only the walk length changes.
+    catalog_predicate:
+        Optional item-eligibility predicate
+        (:class:`repro.data.columnar.CatalogPredicate`) pushed down into
+        every cursor's sorted lists, exactly as in the sequential searcher;
+        carried-over seed candidates containing ineligible items are dropped
+        at validation.
 
     Notes
     -----
@@ -301,6 +312,7 @@ class BatchTopKPackageSearcher:
         beam_width: Optional[int] = None,
         max_items_accessed: Optional[int] = None,
         carryover: Optional[CandidateCarryover] = None,
+        catalog_predicate=None,
     ) -> None:
         self.evaluator = evaluator
         self.predicates = predicates
@@ -317,6 +329,22 @@ class BatchTopKPackageSearcher:
             )
         self.max_items_accessed = max_items_accessed
         self._null_columns = evaluator.catalog.null_mask.any(axis=0)
+        self.catalog_predicate = catalog_predicate
+        if catalog_predicate is None:
+            self._eligible_mask: Optional[np.ndarray] = None
+        else:
+            mask = np.asarray(
+                catalog_predicate.eligible_mask(evaluator.catalog), dtype=bool
+            )
+            if mask.shape != (evaluator.catalog.num_items,):
+                raise ValueError(
+                    "catalog_predicate mask has shape "
+                    f"{mask.shape}, expected ({evaluator.catalog.num_items},)"
+                )
+            self._eligible_mask = mask
+        self._order_source = FilteredOrderSource(
+            evaluator.catalog, self._eligible_mask
+        )
 
     # -------------------------------------------------------------- public API
     def search(self, weights: np.ndarray, k: int) -> PackageSearchResult:
@@ -447,6 +475,7 @@ class BatchTopKPackageSearcher:
                 self.evaluator,
                 predicates=self.predicates,
                 max_candidates=self.max_candidates,
+                catalog_predicate=self.catalog_predicate,
             )
             for v in zero_rows:
                 results[v] = fallback.search(W[v], k)
@@ -506,6 +535,11 @@ class BatchTopKPackageSearcher:
                 or candidate[0] < 0
                 or candidate[-1] >= num_items
             ):
+                dropped += 1
+                continue
+            if self._eligible_mask is not None and not self._eligible_mask[
+                list(candidate)
+            ].all():
                 dropped += 1
                 continue
             if candidate in state.discovered:

@@ -48,7 +48,7 @@ from repro.core.packages import AggregationState, Package, PackageEvaluator
 from repro.core.predicates import PredicateSet
 from repro.core.profiles import AggregateProfile, Aggregation
 from repro.core.utility import LinearUtility
-from repro.topk.sorted_lists import SortedItemLists
+from repro.topk.sorted_lists import FilteredOrderSource, SortedItemLists
 from repro.utils.validation import require_vector
 
 
@@ -220,6 +220,13 @@ class TopKPackageSearcher:
         Optional cap on the number of items read from the sorted lists before
         the search stops and reports the best packages found so far.  ``None``
         (default) reads until the bound-based termination fires.
+    catalog_predicate:
+        Optional item-eligibility predicate
+        (:class:`repro.data.columnar.CatalogPredicate`) pushed down into the
+        sorted-list walk: ineligible items are removed from every list before
+        the search starts (via summary pruning and binary search over the
+        stored orders, not a scan), so the walk behaves exactly as if it ran
+        over the eligible sub-catalog.
     """
 
     def __init__(
@@ -231,6 +238,7 @@ class TopKPackageSearcher:
         max_candidates: int = 200_000,
         beam_width: Optional[int] = None,
         max_items_accessed: Optional[int] = None,
+        catalog_predicate=None,
     ) -> None:
         self.evaluator = evaluator
         self.paper_lower_bound = paper_lower_bound
@@ -257,6 +265,22 @@ class TopKPackageSearcher:
             for j, aggregation in enumerate(evaluator.profile.aggregations)
             if aggregation is Aggregation.MIN and self._null_columns[j]
         ]
+        self.catalog_predicate = catalog_predicate
+        if catalog_predicate is None:
+            self._eligible_mask: Optional[np.ndarray] = None
+        else:
+            mask = np.asarray(
+                catalog_predicate.eligible_mask(evaluator.catalog), dtype=bool
+            )
+            if mask.shape != (evaluator.catalog.num_items,):
+                raise ValueError(
+                    "catalog_predicate mask has shape "
+                    f"{mask.shape}, expected ({evaluator.catalog.num_items},)"
+                )
+            self._eligible_mask = mask
+        self._order_source = FilteredOrderSource(
+            evaluator.catalog, self._eligible_mask
+        )
 
     # -------------------------------------------------------------- public API
     def search(self, weights: np.ndarray, k: int) -> PackageSearchResult:
@@ -269,7 +293,9 @@ class TopKPackageSearcher:
 
         utility = LinearUtility(weights)
         set_monotone = utility.is_set_monotone(self.evaluator.profile)
-        lists = SortedItemLists(self.evaluator.catalog, weights)
+        lists = SortedItemLists(
+            self.evaluator.catalog, weights, order_provider=self._order_source
+        )
         phi = self.evaluator.max_package_size
         if not lists.active_features:
             # Degenerate case: all weights are zero, every package has utility
@@ -337,26 +363,29 @@ class TopKPackageSearcher:
     def _all_zero_weight_result(self, k: int) -> PackageSearchResult:
         """Top-k when every weight is zero: the k smallest package ids, utility 0."""
         phi = self.evaluator.max_package_size
-        num_items = self.evaluator.catalog.num_items
+        if self._eligible_mask is None:
+            pool = range(self.evaluator.catalog.num_items)
+        else:
+            pool = [int(i) for i in np.flatnonzero(self._eligible_mask)]
+        num_pool = len(pool)
         selected: List[Package] = []
         scanned = 0
 
-        def descend(prefix: Tuple[int, ...]) -> None:
+        def descend(prefix: Tuple[int, ...], start: int) -> None:
             nonlocal scanned
             if len(selected) >= k or scanned > self.max_candidates:
                 return
-            start = prefix[-1] + 1 if prefix else 0
-            for item in range(start, num_items):
+            for position in range(start, num_pool):
                 if len(selected) >= k or scanned > self.max_candidates:
                     return
-                candidate = prefix + (item,)
+                candidate = prefix + (pool[position],)
                 scanned += 1
                 if self._reportable(candidate):
                     selected.append(Package(candidate))
                 if len(candidate) < phi:
-                    descend(candidate)
+                    descend(candidate, position + 1)
 
-        descend(())
+        descend((), 0)
         return PackageSearchResult(
             packages=selected,
             utilities=[0.0] * len(selected),

@@ -43,12 +43,46 @@ this module only reports the raw per-list boundary values.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
 from repro.core.items import ItemCatalog
 from repro.utils.validation import require_vector
+
+
+class FilteredOrderSource:
+    """Per-feature sort orders, optionally restricted to eligible items.
+
+    A callable ``(feature, descending) -> order`` suitable as the
+    ``order_provider`` of :class:`SortedItemLists`.  Without a mask it simply
+    forwards to ``catalog.argsort_feature`` (stored or cached orders).  With
+    an eligibility mask it filters each order to the eligible items —
+    ``order[mask[order]]`` preserves the original relative order, so the
+    filtered list is exactly the sorted list of the eligible sub-catalog —
+    using only index arithmetic, never feature-row reads.  Filtered orders
+    are cached so each (feature, direction) pair is filtered at most once
+    per searcher.
+    """
+
+    def __init__(
+        self, catalog: ItemCatalog, eligible_mask: Optional[np.ndarray] = None
+    ) -> None:
+        self.catalog = catalog
+        self.eligible_mask = eligible_mask
+        self._filtered: Dict[tuple, np.ndarray] = {}
+
+    def __call__(self, feature_index: int, descending: bool) -> np.ndarray:
+        order = self.catalog.argsort_feature(feature_index, descending=descending)
+        if self.eligible_mask is None:
+            return order
+        key = (feature_index, bool(descending))
+        filtered = self._filtered.get(key)
+        if filtered is None:
+            order = np.asarray(order, dtype=np.int64)
+            filtered = order[self.eligible_mask[order]]
+            self._filtered[key] = filtered
+        return filtered
 
 
 class SortedItemLists:
@@ -70,9 +104,19 @@ class SortedItemLists:
         The weight vector ``w``; the sign of each component decides the sort
         direction of the corresponding list.  Features with zero weight do not
         get a list (they cannot influence utility).
+    order_provider:
+        Optional ``(feature, descending) -> order`` callable supplying the
+        sorted orders — e.g. a :class:`FilteredOrderSource` restricting the
+        lists to predicate-eligible items.  Defaults to the catalog's own
+        (stored or cached) orders.
     """
 
-    def __init__(self, catalog: ItemCatalog, weights: np.ndarray) -> None:
+    def __init__(
+        self,
+        catalog: ItemCatalog,
+        weights: np.ndarray,
+        order_provider: Optional[Callable[[int, bool], np.ndarray]] = None,
+    ) -> None:
         weights = require_vector(weights, "weights", length=catalog.num_features)
         self.catalog = catalog
         self.weights = weights
@@ -80,10 +124,16 @@ class SortedItemLists:
             j for j in range(catalog.num_features) if weights[j] != 0.0
         ]
         # One ordering per active feature: best item for that feature first.
+        if order_provider is None:
+            order_provider = lambda j, descending: catalog.argsort_feature(  # noqa: E731
+                j, descending=descending
+            )
         self._orders: Dict[int, np.ndarray] = {}
+        self._limits: Dict[int, int] = {}
         for j in self.active_features:
-            descending = weights[j] > 0
-            self._orders[j] = catalog.argsort_feature(j, descending=descending)
+            order = order_provider(j, weights[j] > 0)
+            self._orders[j] = order
+            self._limits[j] = len(order)
         self._positions: Dict[int, int] = {j: 0 for j in self.active_features}
         self._last_value: Dict[int, Optional[float]] = {j: None for j in self.active_features}
         self._accessed: set = set()
@@ -102,7 +152,7 @@ class SortedItemLists:
     def exhausted(self) -> bool:
         """Whether every list has been fully read."""
         return all(
-            self._positions[j] >= self.catalog.num_items for j in self.active_features
+            self._positions[j] >= self._limits[j] for j in self.active_features
         )
 
     # ------------------------------------------------------------------ access
@@ -119,7 +169,7 @@ class SortedItemLists:
             feature = self.active_features[self._cursor % len(self.active_features)]
             self._cursor += 1
             position = self._positions[feature]
-            if position >= self.catalog.num_items:
+            if position >= self._limits[feature]:
                 continue
             item_index = int(self._orders[feature][position])
             self._positions[feature] = position + 1
@@ -147,6 +197,10 @@ class SortedItemLists:
         for j in self.active_features:
             if self._last_value[j] is None:
                 order = self._orders[j]
+                if len(order) == 0:
+                    # Empty (fully filtered-out) list: no item can contribute.
+                    tau[j] = 0.0
+                    continue
                 best_value = self.catalog.features[int(order[0]), j]
                 tau[j] = 0.0 if np.isnan(best_value) else float(best_value)
             else:
@@ -162,6 +216,12 @@ class SortedItemLists:
         """
         tau = np.zeros(self.catalog.num_features)
         for j in self.active_features:
-            column = self.catalog.feature_column(j, fill_null=0.0)
-            tau[j] = float(column.min()) if self.weights[j] > 0 else float(column.max())
+            order = np.asarray(self._orders[j], dtype=np.int64)
+            if order.size == 0:
+                continue
+            # Worst value among the items this list can produce (which under
+            # predicate filtering is the eligible subset, not the catalog).
+            values = self.catalog.features[order, j]
+            values = np.where(np.isnan(values), 0.0, values)
+            tau[j] = float(values.min()) if self.weights[j] > 0 else float(values.max())
         return tau

@@ -81,6 +81,26 @@ PINNED_FLOORS = {
     # randomized equivalence suite in tests/test_incremental.py.
     "incremental_search_speedup": 2.0,
     "partial_refill_speedup": 1.2,
+    # Memory-mapped columnar catalog (PR 9): rounds served from an
+    # mmap-backed catalog — per-session, batched, and with pool fills
+    # resolved in process-shard workers that open the store by content
+    # digest — must be bit-identical to the materialized engine (the
+    # indicator is the metric), and attaching a cold store must beat
+    # rebuilding + re-argsorting the catalog by at least 10x.
+    "catalog_mmap_equivalence": 1.0,
+    "catalog_cold_open_speedup": 10.0,
+}
+
+#: The pinned maximum ceiling per lower-is-better gated metric.  Mirrors
+#: PINNED_FLOORS with the comparison reversed: a benchmark may tighten its
+#: asserted ceiling freely; raising one above these values requires editing
+#: this file in a reviewed commit.
+PINNED_CEILINGS = {
+    # Predicate pushdown (PR 9): on the selective-predicate workload the
+    # sorted-list walk must touch at most this fraction of the catalog's
+    # rows — eligibility is answered from column summaries and stored
+    # orders, never by scanning the table.
+    "catalog_pushdown_row_fraction": 0.2,
 }
 
 EXPECTED_SCHEMA_VERSION = 1
@@ -113,7 +133,7 @@ def main(argv):
     metrics = payload.get("metrics", {})
 
     failures = []
-    width = max(len(name) for name in PINNED_FLOORS)
+    width = max(len(name) for name in (*PINNED_FLOORS, *PINNED_CEILINGS))
     print(f"bench gate: {path}")
     for name, pinned in sorted(PINNED_FLOORS.items()):
         entry = metrics.get(name)
@@ -141,7 +161,34 @@ def main(argv):
             f"  {name:<{width}}  value={value:>8.3f}{unit}  "
             f"floor={floor:>6.2f}{unit}  pinned={pinned:>6.2f}{unit}  [{status}]"
         )
-    extra = sorted(set(metrics) - set(PINNED_FLOORS))
+    for name, pinned in sorted(PINNED_CEILINGS.items()):
+        entry = metrics.get(name)
+        if entry is None:
+            failures.append(f"{name}: required metric missing from {path}")
+            print(f"  {name:<{width}}  MISSING")
+            continue
+        value = float(entry["value"])
+        ceiling = float(entry["ceiling"])
+        unit = entry.get("unit", "")
+        status = "ok"
+        if ceiling > pinned:
+            status = "CEILING RAISED"
+            failures.append(
+                f"{name}: recorded ceiling {ceiling}{unit} is above the pinned "
+                f"maximum {pinned}{unit} (tighten it, or change "
+                f"tools/bench_gate.py in a reviewed commit)"
+            )
+        if value > ceiling:
+            status = "REGRESSION"
+            failures.append(
+                f"{name}: measured {value}{unit} is above its ceiling "
+                f"{ceiling}{unit}"
+            )
+        print(
+            f"  {name:<{width}}  value={value:>8.3f}{unit}  "
+            f"ceiling={ceiling:>4.2f}{unit}  pinned={pinned:>6.2f}{unit}  [{status}]"
+        )
+    extra = sorted(set(metrics) - set(PINNED_FLOORS) - set(PINNED_CEILINGS))
     for name in extra:
         entry = metrics[name]
         print(
