@@ -26,7 +26,10 @@ The public API re-exports the pieces most users need:
   approximate pool-reuse subsystem :class:`PoolAdapter`
   (:class:`AdaptationConfig`);
 * the async front-end: :class:`AsyncRecommendationServer`,
-  :class:`MicroBatchDispatcher`, :class:`AsyncTrafficSimulator`.
+  :class:`MicroBatchDispatcher`, :class:`AsyncTrafficSimulator`;
+* observability: :class:`Telemetry` (request tracing + alarms),
+  :class:`MetricsRegistry` (counters / gauges / log-bucketed histograms
+  with Prometheus text exposition), :class:`JsonLinesTraceSink`.
 
 See README.md for a quickstart and DESIGN.md for the architecture.
 """
@@ -77,6 +80,13 @@ from repro.simulation.traffic import (
     LoadReport,
     TrafficSimulator,
     WorkloadSpec,
+)
+from repro.obs import (
+    InMemoryTraceSink,
+    JsonLinesTraceSink,
+    MetricsRegistry,
+    Telemetry,
+    Tracer,
 )
 from repro.sampling.batch import BatchRejectionSampler
 from repro.sampling.reweight import (
@@ -171,6 +181,11 @@ __all__ = [
     "MicroBatchDispatcher",
     "DispatcherClosedError",
     "DispatcherOverloadedError",
+    "Telemetry",
+    "MetricsRegistry",
+    "Tracer",
+    "InMemoryTraceSink",
+    "JsonLinesTraceSink",
     "BatchRejectionSampler",
     "ess_deficit",
     "importance_reweight",

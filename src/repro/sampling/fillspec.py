@@ -42,6 +42,7 @@ closure constructed — so where a fill runs can never change what it returns.
 from __future__ import annotations
 
 import hashlib
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
@@ -393,8 +394,10 @@ def execute_fill(
     content-addressed catalog rather than a shipped array copy.  Stats never
     influence sampling, so fills stay bit-identical across backings.
     """
+    started = time.perf_counter()
     sampler = build_sampler(spec, context)
     pool = sampler.sample(spec.count, spec.constraint_set())
+    pool.stats["fill_seconds"] = time.perf_counter() - started
     if context is None:
         context = _CONTEXTS.get(spec.context_digest)
     if context is not None and context.catalog_digest is not None:

@@ -328,6 +328,10 @@ class PoolAdapter:
         Root of the deterministic residual-resampling streams (the engine
         passes its fill-seed root, so resampling — like repository fills —
         depends only on the pool key).
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry` facade; when set, ESS-gate
+        rejections fire an ``adaptation_ess_rejected`` alarm (counter plus
+        structured trace event).
     """
 
     def __init__(
@@ -336,12 +340,14 @@ class PoolAdapter:
         index: ConstraintSimilarityIndex,
         config: Optional[AdaptationConfig] = None,
         seed_root: int = 0,
+        telemetry=None,
     ) -> None:
         self.repository = repository
         self.index = index
         self.config = config if config is not None else AdaptationConfig()
         self.seed_root = int(seed_root)
         self.stats = AdaptationStats()
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------------ core
     def adapt(
@@ -391,6 +397,13 @@ class PoolAdapter:
             return None
         if best_ess < config.min_ess_fraction * count:
             self.stats.low_ess += 1
+            if self.telemetry is not None:
+                self.telemetry.alarm(
+                    "adaptation_ess_rejected",
+                    key=key,
+                    ess=round(best_ess, 3),
+                    required=round(config.min_ess_fraction * count, 3),
+                )
             return None
         best.stats.update(
             {

@@ -138,3 +138,20 @@ class AsyncRecommendationServer:
             "engine": self.engine.stats().as_dict(),
             "dispatcher": self.dispatcher.stats.as_dict(),
         }
+
+    # -------------------------------------------------------------- telemetry
+    def observe(self) -> dict:
+        """The engine's consolidated observation tree (see ``engine.observe``).
+
+        The dispatcher registered itself as an observable at construction,
+        so its batching counters appear under ``"dispatcher"``.
+        """
+        return self.engine.observe()
+
+    def metrics_text(self) -> str:
+        """The engine's metrics registry in Prometheus text exposition."""
+        return self.engine.telemetry.prometheus_text()
+
+    def drain_traces(self) -> list:
+        """Drain captured request traces (in-memory sinks only)."""
+        return self.engine.telemetry.drain_traces()

@@ -41,6 +41,7 @@ before the coroutine returns.
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -180,9 +181,18 @@ class MicroBatchDispatcher:
         self.max_pending = int(max_pending) if max_pending is not None else None
         self.shed_mode = shed_mode
         self.stats = DispatcherStats()
-        self._pending: List[Tuple[str, asyncio.Future]] = []
+        # Pending window entries: (session_id, future, admission perf-time).
+        # The admission time becomes the backdated ``dispatcher.queue_wait``
+        # child span when the window dispatches under tracing.
+        self._pending: List[Tuple[str, asyncio.Future, float]] = []
         self._timer: Optional[asyncio.TimerHandle] = None
         self._closed = False
+        # Borrow the engine's telemetry facade (duck-typed: stub engines in
+        # tests have none).  Sheds and degraded serves fire alarms through
+        # it, and the dispatcher's counters join ``engine.observe()``.
+        self.telemetry = getattr(engine, "telemetry", None)
+        if self.telemetry is not None:
+            self.telemetry.register_observable("dispatcher", self.stats.as_dict)
 
     # ----------------------------------------------------------------- window
     async def submit(self, session_id: str):
@@ -203,13 +213,19 @@ class MicroBatchDispatcher:
                 if degraded is not None:
                     return degraded
             self.stats.requests_shed += 1
+            if self.telemetry is not None:
+                self.telemetry.alarm(
+                    "dispatcher_shed",
+                    session_id=session_id,
+                    pending=len(self._pending),
+                )
             raise DispatcherOverloadedError(
                 f"dispatcher window is full ({self.max_pending} pending "
                 f"requests); retry after the current window flushes"
             )
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
-        self._pending.append((session_id, future))
+        self._pending.append((session_id, future, time.perf_counter()))
         self.stats.requests_submitted += 1
         if len(self._pending) >= self.max_batch_size:
             self._flush("size")
@@ -234,6 +250,8 @@ class MicroBatchDispatcher:
         except PoolUnavailableError:
             return None
         self.stats.requests_degraded += 1
+        if self.telemetry is not None:
+            self.telemetry.alarm("dispatcher_degraded", session_id=session_id)
         return round_
 
     @property
@@ -261,11 +279,32 @@ class MicroBatchDispatcher:
         self._dispatch(batch)
 
     # --------------------------------------------------------------- dispatch
-    def _dispatch(self, batch: List[Tuple[str, asyncio.Future]]) -> None:
+    def _dispatch(self, batch: List[Tuple[str, asyncio.Future, float]]) -> None:
+        telemetry = self.telemetry
+        if telemetry is None or not telemetry.enabled:
+            self._dispatch_batch(batch)
+            return
+        # The dispatch span is the trace root: the engine's recommend /
+        # recommend_many spans nest under it, and each request's time in the
+        # window appears as a backdated queue_wait child.
+        with telemetry.span("dispatcher.dispatch", batch_size=len(batch)):
+            now = time.perf_counter()
+            for session_id, _future, admitted in batch:
+                telemetry.record_child(
+                    "dispatcher.queue_wait",
+                    now - admitted,
+                    start_perf=admitted,
+                    session_id=session_id,
+                )
+            self._dispatch_batch(batch)
+
+    def _dispatch_batch(
+        self, batch: List[Tuple[str, asyncio.Future, float]]
+    ) -> None:
         # A submitter may have been cancelled while waiting in the window
         # (asyncio.wait_for timeouts); serving its round would advance the
         # session for a caller that is gone, so drop done futures up front.
-        live = [(sid, fut) for sid, fut in batch if not fut.done()]
+        live = [item for item in batch if not item[1].done()]
         self.stats.requests_cancelled += len(batch) - len(live)
         if not live:
             return
@@ -276,14 +315,14 @@ class MicroBatchDispatcher:
             # Single-request fast path: skip recommend_many's pin/prefetch
             # machinery — there is nothing to batch.
             self.stats.fast_path_serves += 1
-            session_id, future = batch[0]
+            session_id, future, _admitted = batch[0]
             try:
                 self._resolve(future, self.engine.recommend(session_id))
             except Exception as exc:  # noqa: BLE001 - forwarded to the caller
                 self._reject(future, exc)
             return
         batch = self._group_by_shard(batch)
-        session_ids = [session_id for session_id, _future in batch]
+        session_ids = [session_id for session_id, _future, _admitted in batch]
         try:
             rounds = self.engine.recommend_many(session_ids)
         except Exception:
@@ -296,18 +335,18 @@ class MicroBatchDispatcher:
             # *later* round than the discarded one, which the request/response
             # contract allows; the cost is the wasted partial batch.
             self.stats.batch_fallbacks += 1
-            for session_id, future in batch:
+            for session_id, future, _admitted in batch:
                 try:
                     self._resolve(future, self.engine.recommend(session_id))
                 except Exception as exc:  # noqa: BLE001
                     self._reject(future, exc)
             return
-        for (_session_id, future), round_ in zip(batch, rounds):
+        for (_session_id, future, _admitted), round_ in zip(batch, rounds):
             self._resolve(future, round_)
 
     def _group_by_shard(
-        self, batch: List[Tuple[str, asyncio.Future]]
-    ) -> List[Tuple[str, asyncio.Future]]:
+        self, batch: List[Tuple[str, asyncio.Future, float]]
+    ) -> List[Tuple[str, asyncio.Future, float]]:
         """Order a window's requests by the shard that owns their next fill.
 
         Engines with a sharded pool repository expose ``fill_shard_plan``:
@@ -322,7 +361,9 @@ class MicroBatchDispatcher:
         fill_shard_plan = getattr(self.engine, "fill_shard_plan", None)
         if fill_shard_plan is None or len(batch) <= 1:
             return batch
-        plan = fill_shard_plan([session_id for session_id, _future in batch])
+        plan = fill_shard_plan(
+            [session_id for session_id, _future, _admitted in batch]
+        )
         if len(set(plan.values())) <= 1:
             return batch  # 0-1 shards involved: nothing to group
         self.stats.shard_grouped_batches += 1

@@ -65,6 +65,7 @@ from repro.core.predicates import PredicateSet
 from repro.core.preferences import Preference
 from repro.core.profiles import AggregateProfile
 from repro.core.ranking import rank_from_samples
+from repro.obs import Telemetry
 from repro.sampling.base import ConstraintSet, SamplePool, Sampler
 from repro.sampling.batch import BatchRejectionSampler
 from repro.sampling.fillspec import (
@@ -441,6 +442,13 @@ class RecommendationEngine:
         Optional externally built :class:`PoolRepository`; by default a
         :class:`ShardedPoolRepository` is constructed from the config
         (``pool_cache_size`` / ``pool_shards`` / ``pool_shard_backend``).
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry` facade.  When given, the
+        engine threads request traces through serving (dispatcher admission
+        → recommend → pool provisioning → batch search → event-log append),
+        observes latency histograms, and fires labeled alarms; the default
+        is a disabled instance whose per-site cost is one attribute check
+        (alarm counters still count either way).
     """
 
     def __init__(
@@ -453,8 +461,10 @@ class RecommendationEngine:
         clock: Callable[[], float] = time.monotonic,
         pool_repository: Optional[PoolRepository] = None,
         catalog_predicate=None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.config = config if config is not None else EngineConfig()
+        self.telemetry = telemetry if telemetry is not None else Telemetry.disabled()
         # catalog_backing="mmap": serve from a memory-mapped columnar store.
         # A catalog that already is one is used as-is; a materialized one is
         # written out once (temporary store, lives as long as the engine) and
@@ -541,6 +551,11 @@ class RecommendationEngine:
                     self.config.pool_shard_backend, self.config.pool_shards
                 ),
             )
+        attach_telemetry = getattr(self.pool_repository, "attach_telemetry", None)
+        if attach_telemetry is not None:
+            attach_telemetry(self.telemetry)
+        if self.event_log is not None:
+            self.event_log.attach_telemetry(self.telemetry)
         # Approximate pool reuse (optional): the adapter serves repository
         # misses from reweighted near-miss donor pools; the similarity index
         # it consults is fed by _pool_key, the single choke point every layer
@@ -554,6 +569,7 @@ class RecommendationEngine:
                 ),
                 self.config.pool_adaptation,
                 seed_root=self._fill_seed_root,
+                telemetry=self.telemetry,
             )
         self._topk_cache = LruCache(self.config.topk_cache_size)
         # Engine-level batch searcher for across-session search batching:
@@ -597,6 +613,14 @@ class RecommendationEngine:
         self.pools_built = 0
         self.pools_partial_refilled = 0
         self.topk_batched_pools = 0
+        # Hot-path instruments, resolved once (registry lookups take a lock).
+        registry = self.telemetry.registry
+        self._round_latency = registry.histogram(
+            "repro_round_latency_seconds", "Per-round serve latency"
+        )
+        self._requests_total = registry.counter(
+            "repro_requests_total", "Serving API calls", labels=("api",)
+        )
         if self.config.warm_start_first_clicks is not None:
             self.warm_start(self.config.warm_start_first_clicks)
 
@@ -799,7 +823,10 @@ class RecommendationEngine:
                 return pool
         pool = self.pool_repository.get(key)
         if pool is None:
-            pool = self._stamp_pool(self._build_pool(key, constraints, count, stale))
+            with self.telemetry.span("pool.build", key=key, count=count):
+                pool = self._stamp_pool(
+                    self._build_pool(key, constraints, count, stale)
+                )
             self.pool_repository.put(key, pool)
         entry.pool_key = key
         return pool
@@ -814,12 +841,14 @@ class RecommendationEngine:
         self.pools_built += 1
         adapted = self._adapt_pool(key, constraints, count)
         if adapted is not None:
+            self.telemetry.annotate(path="adapted")
             return adapted
         refill = self._partial_refill_plan(constraints, count, stale)
         if refill is not None:
             surviving, deficit = refill
+            self.telemetry.annotate(path="refill")
             fresh = (
-                self.pool_repository.fill_one(key, constraints, deficit)
+                self._traced_fill(key, constraints, deficit)
                 if deficit > 0
                 else None
             )
@@ -827,13 +856,55 @@ class RecommendationEngine:
         surviving, deficit = self._maintenance_split(constraints, count, stale)
         if surviving is not None:
             self.pools_maintained += 1
+            self.telemetry.annotate(path="maintained")
             if deficit <= 0:
                 return surviving
             return surviving.concatenate(
-                self.pool_repository.fill_one(key, constraints, deficit)
+                self._traced_fill(key, constraints, deficit)
             )
         self.pools_sampled += 1
-        return self.pool_repository.fill_one(key, constraints, count)
+        self.telemetry.annotate(path="sampled")
+        return self._traced_fill(key, constraints, count)
+
+    def _traced_fill(
+        self, key: str, constraints: ConstraintSet, count: int
+    ) -> SamplePool:
+        """One repository fill, recorded as a ``pool.fill`` child span."""
+        pool = self.pool_repository.fill_one(key, constraints, count)
+        self._record_fill_span(key, pool)
+        return pool
+
+    def _record_fill_span(self, key: str, pool: SamplePool) -> None:
+        """Reconstruct a finished fill as a child span of the open trace.
+
+        Fills execute wherever the shard backend put them — inline, a worker
+        thread, or a worker process — so they cannot open spans themselves;
+        the engine rebuilds the span from the stats the fill returned
+        (``fill_seconds``, and ``fill_worker_pid`` for process fills).
+        """
+        if not self.telemetry.enabled:
+            return
+        attrs = {"key": key, "count": pool.size}
+        sampler = pool.stats.get("sampler")
+        if sampler is not None:
+            attrs["sampler"] = sampler
+        worker_pid = pool.stats.get("fill_worker_pid")
+        if worker_pid is not None:
+            attrs["worker_pid"] = int(worker_pid)
+        self.telemetry.record_child(
+            "pool.fill", float(pool.stats.get("fill_seconds", 0.0)), **attrs
+        )
+
+    def _annotate_search(self) -> None:
+        """Attach the batch searcher's last walk statistics to the open span.
+
+        Covers the measurement the self-tuning roadmap item needs: rows vs
+        deduplicated rows (cross-pool dedup rate), items accessed by the
+        sorted-list walk, and how many carried candidates seeded it.
+        """
+        stats = self.batch_searcher.last_search_stats
+        if stats:
+            self.telemetry.annotate(**stats)
 
     def _partial_refill_plan(
         self,
@@ -981,8 +1052,13 @@ class RecommendationEngine:
     # ================================================================ serving
     def recommend(self, session_id: str) -> RecommendationRound:
         """Serve one recommendation round for a session."""
-        entry = self._acquire(session_id)
-        return self._serve_round(entry)
+        if not self.telemetry.enabled:
+            entry = self._acquire(session_id)
+            return self._serve_round(entry)
+        self._requests_total.labels(api="recommend").inc()
+        with self.telemetry.span("engine.recommend", session_id=session_id):
+            entry = self._acquire(session_id)
+            return self._serve_round(entry)
 
     def recommend_many(
         self, session_ids: Sequence[str]
@@ -994,6 +1070,17 @@ class RecommendationEngine:
         first, then per-shard fill groups the shard backend may run in
         parallel) before the per-session rounds are produced.
         """
+        if not self.telemetry.enabled:
+            return self._recommend_many(session_ids)
+        self._requests_total.labels(api="recommend_many").inc()
+        with self.telemetry.span(
+            "engine.recommend_many", sessions=len(session_ids)
+        ):
+            return self._recommend_many(session_ids)
+
+    def _recommend_many(
+        self, session_ids: Sequence[str]
+    ) -> List[RecommendationRound]:
         entries: List[SessionEntry] = []
         fresh_topk_keys: set = set()
         try:
@@ -1021,6 +1108,17 @@ class RecommendationEngine:
             self.sessions.sweep_expired()
 
     def _serve_round(self, entry: SessionEntry) -> RecommendationRound:
+        if not self.telemetry.enabled:
+            return self._serve_round_impl(entry)
+        start = time.perf_counter()
+        with self.telemetry.span(
+            "engine.serve_round", session_id=entry.session_id
+        ):
+            round_ = self._serve_round_impl(entry)
+        self._round_latency.observe(time.perf_counter() - start)
+        return round_
+
+    def _serve_round_impl(self, entry: SessionEntry) -> RecommendationRound:
         recommender = entry.recommender
         recommended: Optional[List[Package]] = None
         # The top-k cache is keyed by the pool key plus the pool's build
@@ -1039,7 +1137,7 @@ class RecommendationEngine:
                     # put and fetch — a get() would have counted one too.
                     self._freshly_searched.discard(key)
                     cached = self._topk_cache.peek(key)
-                    self._topk_cache.stats.misses += 1
+                    self._topk_cache.record_miss()
                 else:
                     cached = self._topk_cache.get(key)
                 if cached is None:
@@ -1047,20 +1145,24 @@ class RecommendationEngine:
                     self._topk_cache.put(key, tuple(recommended))
                 else:
                     recommended = list(cached)
+                self.telemetry.annotate(
+                    pool_key=entry.pool_key, topk_cached=cached is not None
+                )
         round_ = recommender.recommend(recommended=recommended)
         entry.rounds_served += 1
         entry.dirty = True
         self.rounds_served += 1
         if self.event_log is not None:
-            self.event_log.log_round_served(
-                entry.session_id,
-                recommended=[
-                    [int(i) for i in p.items] for p in round_.recommended
-                ],
-                random_packages=[
-                    [int(i) for i in p.items] for p in round_.random_packages
-                ],
-            )
+            with self.telemetry.span("eventlog.append", kind="round_served"):
+                self.event_log.log_round_served(
+                    entry.session_id,
+                    recommended=[
+                        [int(i) for i in p.items] for p in round_.recommended
+                    ],
+                    random_packages=[
+                        [int(i) for i in p.items] for p in round_.random_packages
+                    ],
+                )
         return round_
 
     def recommend_cached(self, session_id: str) -> RecommendationRound:
@@ -1143,6 +1245,19 @@ class RecommendationEngine:
         re-validated, so the ranked list is exactly the one the session
         would have computed itself.
         """
+        if not self.telemetry.enabled:
+            return self._session_top_k_impl(entry, pool)
+        with self.telemetry.span(
+            "search.topk", mode="session", pool_key=entry.pool_key
+        ):
+            self.batch_searcher.last_search_stats = None
+            ranked = self._session_top_k_impl(entry, pool)
+            self._annotate_search()
+            return ranked
+
+    def _session_top_k_impl(
+        self, entry: SessionEntry, pool: SamplePool
+    ) -> List[Package]:
         recommender = entry.recommender
         if (
             self.batch_searcher.carryover is None
@@ -1195,6 +1310,14 @@ class RecommendationEngine:
             or not self.config.elicitation.use_batch_search
         ):
             return set()
+        if not self.telemetry.enabled:
+            return self._prefetch_topk_impl(entries)
+        with self.telemetry.span("engine.prefetch_topk"):
+            fresh = self._prefetch_topk_impl(entries)
+            self.telemetry.annotate(pools_searched=len(fresh))
+            return fresh
+
+    def _prefetch_topk_impl(self, entries: Sequence[SessionEntry]) -> set:
         groups: Dict[tuple, dict] = {}
         for entry in entries:
             recommender = entry.recommender
@@ -1227,12 +1350,16 @@ class RecommendationEngine:
         for key, group in groups.items():
             by_k.setdefault(group["k"], []).append(key)
         for k, keys in by_k.items():
-            per_pool = self.batch_searcher.search_pools(
-                [groups[key]["matrix"] for key in keys],
-                k,
-                carry_in=[groups[key]["carry_in"] for key in keys],
-                carry_out=[groups[key]["carry_out"] for key in keys],
-            )
+            with self.telemetry.span(
+                "search.topk", mode="batched", pools=len(keys), k=k
+            ):
+                per_pool = self.batch_searcher.search_pools(
+                    [groups[key]["matrix"] for key in keys],
+                    k,
+                    carry_in=[groups[key]["carry_in"] for key in keys],
+                    carry_out=[groups[key]["carry_out"] for key in keys],
+                )
+                self._annotate_search()
             for key, results in zip(keys, per_pool):
                 group = groups[key]
                 ranked = rank_from_samples(
@@ -1246,6 +1373,12 @@ class RecommendationEngine:
     # ======================================================== batched sampling
     def _prefetch_pools(self, entries: Sequence[SessionEntry]) -> None:
         """Fill every distinct missing pool for ``entries`` with batched work."""
+        if not self.telemetry.enabled:
+            return self._prefetch_pools_impl(entries)
+        with self.telemetry.span("engine.prefetch_pools"):
+            return self._prefetch_pools_impl(entries)
+
+    def _prefetch_pools_impl(self, entries: Sequence[SessionEntry]) -> None:
         groups: Dict[str, dict] = {}
         for entry in entries:
             recommender = entry.recommender
@@ -1298,6 +1431,10 @@ class RecommendationEngine:
                 if deficit > 0
             ]
         )
+        if self.telemetry.enabled:
+            self.telemetry.annotate(groups=len(groups), fills=len(fresh_by_key))
+            for key, pool in fresh_by_key.items():
+                self._record_fill_span(key, pool)
         for key, _constraints, mode, surviving, deficit, count in jobs:
             if mode == "refill":
                 pool = self._finish_partial_refill(
@@ -1653,23 +1790,40 @@ class RecommendationEngine:
             # *different* pool, so an unresolvable (or size-inconsistent)
             # deficit-fill record is divergence, not a cache miss.
             if pool is None:
-                raise ReplayDivergenceError(
+                raise self._replay_divergence(
                     f"session {entry.session_id!r}: the checkpointed "
                     f"partial-refill pool {key!r} (digest "
                     f"{pool_payload.get('digest')!r}) cannot be resolved "
                     f"from the repository or the store — its deficit-fill "
-                    f"record was tampered with or its payload was lost"
+                    f"record was tampered with or its payload was lost",
+                    session_id=entry.session_id,
+                    pool_key=key,
                 )
             if int(refill.get("size", pool.size)) != pool.size:
-                raise ReplayDivergenceError(
+                raise self._replay_divergence(
                     f"session {entry.session_id!r}: the resolved pool for "
                     f"{key!r} has {pool.size} samples but its deficit-fill "
                     f"record claims {refill.get('size')} — the checkpoint "
-                    f"was tampered with"
+                    f"was tampered with",
+                    session_id=entry.session_id,
+                    pool_key=key,
                 )
         if pool is not None:
             recommender.set_pool(pool)
         # else: leave the pool pending; the provider fills it lazily.
+
+    def _replay_divergence(
+        self, message: str, **attrs
+    ) -> ReplayDivergenceError:
+        """Fire the divergence alarm and hand back the error to raise.
+
+        Divergence is the log-as-source-of-truth design failing its core
+        promise, so beyond raising it must be *loud*: the labeled alarm
+        counter increments and a structured trace event is emitted (kept
+        past sampling) before the exception propagates.
+        """
+        self.telemetry.alarm("replay_divergence", message=message, **attrs)
+        return ReplayDivergenceError(message)
 
     # ========================================================== replay restore
     def _replay_entry(self, payload: dict) -> SessionEntry:
@@ -1721,21 +1875,25 @@ class RecommendationEngine:
                     [int(i) for i in items] for items in event.get("random") or []
                 ]
                 if replayed != logged:
-                    raise ReplayDivergenceError(
+                    raise self._replay_divergence(
                         f"session {entry.session_id!r}: replayed exploration "
                         f"packages {replayed} differ from logged {logged} at "
                         f"seq {event.get('seq')} — the deterministic serving "
-                        f"path changed since the log was written"
+                        f"path changed since the log was written",
+                        session_id=entry.session_id,
+                        seq=event.get("seq"),
                     )
             elif etype == EVENT_FEEDBACK:
                 clicked = Package(tuple(int(i) for i in event["clicked"]))
                 try:
                     recommender.feedback(clicked)
                 except ValueError as exc:
-                    raise ReplayDivergenceError(
+                    raise self._replay_divergence(
                         f"session {entry.session_id!r}: logged click "
                         f"{list(clicked.items)} rejected during replay at "
-                        f"seq {event.get('seq')}: {exc}"
+                        f"seq {event.get('seq')}: {exc}",
+                        session_id=entry.session_id,
+                        seq=event.get("seq"),
                     ) from exc
                 entry.feedback_events += 1
         if not pool_attached:
@@ -1790,3 +1948,63 @@ class RecommendationEngine:
                 else {}
             ),
         )
+
+    def metrics_snapshot(self) -> dict:
+        """Plain-data snapshot of every registered telemetry instrument.
+
+        Gauges mirroring the ad-hoc stats surfaces (cache hits/misses,
+        session and pool counters) are synced *from those surfaces* at
+        snapshot time — the dataclass counters stay the single source of
+        truth, so the registry view can never diverge from
+        :meth:`stats` no matter which path mutated a counter.  Live
+        instruments (latency histograms, alarm and request counters) are
+        reported as accumulated.
+        """
+        self._sync_metrics()
+        return self.telemetry.registry.snapshot()
+
+    def observe(self) -> dict:
+        """One tree consolidating every observability surface of the stack.
+
+        ``engine`` is :meth:`stats` (EngineStats, which already folds in
+        adaptation, event-log, carryover and shard-repository describes),
+        ``metrics`` is :meth:`metrics_snapshot`, ``telemetry`` describes
+        the tracer/sampler, and every registered observable (the dispatcher
+        registers itself as ``dispatcher``) appears under its own name.
+        The legacy accessors (``engine.stats()``, ``dispatcher.stats``,
+        ``adapter.stats`` …) keep working and report the same numbers.
+        """
+        tree = {
+            "engine": self.stats().as_dict(),
+            "metrics": self.metrics_snapshot(),
+            "telemetry": self.telemetry.describe(),
+        }
+        tree.update(self.telemetry.observables())
+        return tree
+
+    def _sync_metrics(self) -> None:
+        registry = self.telemetry.registry
+        stats = self.stats()
+        mirrors = {
+            "repro_sessions_active": (
+                "Sessions currently in memory", stats.sessions_active),
+            "repro_sessions_created": (
+                "Sessions created", stats.sessions_created),
+            "repro_rounds_served": (
+                "Recommendation rounds served", stats.rounds_served),
+            "repro_feedback_events": (
+                "Click feedback events", stats.feedback_events),
+            "repro_pools_built": (
+                "Pools built (sampled + maintained + adapted + refilled)",
+                stats.pools_built),
+            "repro_pool_cache_hits": (
+                "Pool repository hits", stats.pool_cache["hits"]),
+            "repro_pool_cache_misses": (
+                "Pool repository misses", stats.pool_cache["misses"]),
+            "repro_topk_cache_hits": (
+                "Top-k cache hits", stats.topk_cache["hits"]),
+            "repro_topk_cache_misses": (
+                "Top-k cache misses", stats.topk_cache["misses"]),
+        }
+        for name, (help_text, value) in mirrors.items():
+            registry.gauge(name, help_text).set(value)

@@ -394,8 +394,16 @@ class EventLogStore(SessionStore):
         )
         self._pool_table = JsonFilePoolTable(os.path.join(directory, "pools"))
         self._records: Dict[str, _SessionRecord] = {}
+        self._append_seconds = None
         for event, position in self.log.replay():
             self._index(event, position)
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Record per-append latency in ``telemetry``'s metrics registry."""
+        self._append_seconds = telemetry.registry.histogram(
+            "repro_eventlog_append_seconds",
+            "Wall-clock seconds per event-log append (framing + write + index)",
+        )
 
     # ---------------------------------------------------------------- indexing
     def _index(self, event: dict, position: LogPosition) -> None:
@@ -441,8 +449,11 @@ class EventLogStore(SessionStore):
             "ts": self.clock(),
             **data,
         }
+        started = time.perf_counter()
         position = self.log.append(event)
         self._index(event, position)
+        if self._append_seconds is not None:
+            self._append_seconds.observe(time.perf_counter() - started)
         return event
 
     # ------------------------------------------------------ engine append API

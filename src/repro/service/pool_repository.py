@@ -52,6 +52,7 @@ import bisect
 import hashlib
 import multiprocessing
 import os
+import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -140,6 +141,11 @@ class ShardBackend(abc.ABC):
 
     #: Human-readable backend name (reported in engine stats).
     name: str = "base"
+
+    #: Optional :class:`~repro.obs.Telemetry` facade; backends that recover
+    #: from worker failures fire alarms through it when set (see
+    #: :meth:`ShardedPoolRepository.attach_telemetry`).
+    telemetry = None
 
     @abc.abstractmethod
     def map(self, calls: Sequence[Callable[[], dict]]) -> List[dict]:
@@ -362,12 +368,22 @@ class ProcessShardBackend(ShardBackend):
                 # A worker died mid-fill and took the pool down with it.
                 # Discard the carcass; the loop retries once on a fresh pool.
                 self.worker_restarts += 1
+                if self.telemetry is not None:
+                    self.telemetry.alarm(
+                        "worker_restart", backend=self.name, attempt=_attempt + 1
+                    )
                 executor.shutdown(wait=False)
                 self._executor = None
         # Two pools died in a row — something environmental (not one flaky
         # worker).  Fills are pure functions of their specs, so run them
         # inline: slower, but identical output and the shard stays healthy.
         self.inline_fallbacks += 1
+        if self.telemetry is not None:
+            self.telemetry.alarm(
+                "fill_inline_fallback",
+                backend=self.name,
+                specs=sum(len(items) for _shard, items in payloads),
+            )
         results = {}
         for shard, items in payloads:
             for spec, context in items:
@@ -532,6 +548,32 @@ class PoolShard:
         self.spec_factory = spec_factory
         self.fills = 0
         self.samples_filled = 0
+        # Telemetry instruments (resolved once per shard in attach_telemetry
+        # so record_fill — which runs on worker threads — pays no label
+        # lookup; the instruments themselves are thread-safe).
+        self._fill_counter = None
+        self._fill_samples = None
+        self._fill_latency = None
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Bind this shard's fill instruments to ``telemetry``'s registry."""
+        registry = telemetry.registry
+        shard_label = str(self.index)
+        self._fill_counter = registry.counter(
+            "repro_pool_fills_total",
+            "Pools built, by shard",
+            labels=("shard",),
+        ).labels(shard=shard_label)
+        self._fill_samples = registry.counter(
+            "repro_pool_samples_filled_total",
+            "Posterior samples drawn by pool fills, by shard",
+            labels=("shard",),
+        ).labels(shard=shard_label)
+        self._fill_latency = registry.histogram(
+            "repro_pool_fill_seconds",
+            "Wall-clock seconds per pool fill, by shard",
+            labels=("shard",),
+        ).labels(shard=shard_label)
 
     # ---------------------------------------------------------------- storage
     def get(self, key: str) -> Optional[SamplePool]:
@@ -604,9 +646,19 @@ class PoolShard:
         return None
 
     def record_fill(self, pool: SamplePool) -> None:
-        """Count a completed fill against this shard's load statistics."""
+        """Count a completed fill against this shard's load statistics.
+
+        Thread-shard backends call this from worker threads, so the attached
+        telemetry instruments (if any) must be — and are — thread-safe.
+        """
         self.fills += 1
         self.samples_filled += pool.size
+        if self._fill_counter is not None:
+            self._fill_counter.inc()
+            self._fill_samples.inc(pool.size)
+            seconds = pool.stats.get("fill_seconds")
+            if seconds is not None:
+                self._fill_latency.observe(float(seconds))
 
     def fill(self, job: PoolFillJob) -> SamplePool:
         """Build one pool with a sampler seeded for the job's key."""
@@ -614,8 +666,10 @@ class PoolShard:
         if spec is not None:
             pool = execute_fill(spec)
         else:
+            started = time.perf_counter()
             sampler = self.sampler_factory(job.key)
             pool = sampler.sample(job.count, job.constraints)
+            pool.stats["fill_seconds"] = time.perf_counter() - started
         self.record_fill(pool)
         return pool
 
@@ -708,6 +762,19 @@ class ShardedPoolRepository(PoolRepository):
         self._ring_shards = [index for _point, index in ring]
         self.fill_batches = 0
         self.multi_shard_fill_batches = 0
+        self.telemetry = None
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Wire a :class:`~repro.obs.Telemetry` facade through the topology.
+
+        Each shard resolves its labeled fill instruments once, and the
+        backend gets the facade so worker-restart / inline-fallback recovery
+        paths can fire alarms.
+        """
+        self.telemetry = telemetry
+        for shard in self.shards:
+            shard.attach_telemetry(telemetry)
+        self.backend.telemetry = telemetry
 
     # ----------------------------------------------------------------- routing
     def shard_for(self, key: str) -> PoolShard:

@@ -147,6 +147,7 @@ class LoadReport:
     p50_round_latency_ms: float
     p95_round_latency_ms: float
     engine_stats: dict = field(default_factory=dict)
+    traces: list = field(default_factory=list)
 
     def format(self, label: str = "workload") -> str:
         """A compact human-readable summary block."""
@@ -261,6 +262,11 @@ class TrafficSimulator:
             p50_round_latency_ms=float(np.percentile(latency_array, 50) * 1e3),
             p95_round_latency_ms=float(np.percentile(latency_array, 95) * 1e3),
             engine_stats=engine.stats().as_dict(),
+            traces=(
+                engine.telemetry.drain_traces()
+                if engine.telemetry.enabled
+                else []
+            ),
         )
 
 
@@ -336,6 +342,7 @@ class AsyncLoadReport:
     p95_request_latency_ms: float
     engine_stats: dict = field(default_factory=dict)
     dispatcher_stats: dict = field(default_factory=dict)
+    traces: list = field(default_factory=list)
 
     def format(self, label: str = "async workload") -> str:
         """A compact human-readable summary block."""
@@ -463,6 +470,11 @@ class AsyncTrafficSimulator:
             p95_request_latency_ms=float(np.percentile(latency_array, 95) * 1e3),
             engine_stats=self.server.engine.stats().as_dict(),
             dispatcher_stats=self.server.dispatcher.stats.as_dict(),
+            traces=(
+                self.server.engine.telemetry.drain_traces()
+                if self.server.engine.telemetry.enabled
+                else []
+            ),
         )
 
     def run_sync(self) -> AsyncLoadReport:

@@ -345,6 +345,11 @@ class BatchTopKPackageSearcher:
         self._order_source = FilteredOrderSource(
             evaluator.catalog, self._eligible_mask
         )
+        #: Summary of the most recent :meth:`_search_flat` call (row counts,
+        #: dedup rate, items accessed, carried seeds) — read by the engine's
+        #: telemetry layer to annotate ``search.topk`` spans.  ``None`` until
+        #: a search runs; plain data, never consulted by the search itself.
+        self.last_search_stats: Optional[dict] = None
 
     # -------------------------------------------------------------- public API
     def search(self, weights: np.ndarray, k: int) -> PackageSearchResult:
@@ -455,6 +460,17 @@ class BatchTopKPackageSearcher:
             return [], None
         unique, inverse = np.unique(matrix, axis=0, return_inverse=True)
         unique_results, harvest = self._search_unique(unique, k, seeds)
+        rows = int(matrix.shape[0])
+        unique_rows = int(unique.shape[0])
+        self.last_search_stats = {
+            "rows": rows,
+            "unique_rows": unique_rows,
+            "dedup_rate": round(1.0 - unique_rows / rows, 4),
+            "items_accessed": int(
+                sum(result.items_accessed for result in unique_results)
+            ),
+            "seeds": len(seeds) if seeds else 0,
+        }
         return [unique_results[j] for j in np.ravel(inverse)], harvest
 
     # ---------------------------------------------------------- orchestration
